@@ -1,0 +1,85 @@
+"""E2 (Figure 4): compiler infrastructure — pass effectiveness and compile time.
+
+Regenerates a per-pass statistics table for representative kernels (Bell,
+QFT, random, Grover) compiled against the superconducting platform: gates
+decomposed, gates removed by the optimiser, SWAPs inserted by the mapper,
+and the scheduled makespan.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.algorithms.grover import grover_circuit
+from repro.core.circuit import qft_circuit, random_circuit
+from repro.openql.compiler import Compiler
+from repro.openql.platform import superconducting_platform
+from repro.openql.program import Program
+
+
+def _compile_kernel(name, circuit):
+    platform = superconducting_platform()
+    program = Program(name, platform, num_qubits=circuit.num_qubits)
+    kernel = program.new_kernel(name)
+    kernel.extend(circuit)
+    kernel.measure_all()
+    compiled = Compiler().compile(program)
+    return {
+        "kernel": name,
+        "input_gates": circuit.gate_count(),
+        "output_gates": compiled.total_gate_count(),
+        "decomposed": compiled.statistics_for("decomposition").get("gates_decomposed", 0),
+        "removed": compiled.statistics_for("optimization").get("gates_removed", 0),
+        "swaps": compiled.statistics_for("mapping").get("swaps_inserted", 0),
+        "makespan_ns": compiled.total_makespan_ns(),
+        "compile_time_ms": round(compiled.compile_time_s * 1000.0, 2),
+    }
+
+
+KERNELS = {
+    "bell": lambda: _bell(),
+    "qft5": lambda: qft_circuit(5),
+    "random6": lambda: random_circuit(6, 12, seed=7),
+    "grover2": lambda: grover_circuit(2, 3),
+}
+
+
+def _bell():
+    from repro.core.circuit import bell_pair_circuit
+
+    return bell_pair_circuit()
+
+
+def test_compiler_pass_statistics_table(benchmark):
+    def run_all():
+        return [_compile_kernel(name, build()) for name, build in KERNELS.items()]
+
+    rows = run_once(benchmark, run_all)
+    print_table(
+        "E2 compiler pass statistics per kernel (Figure 4)",
+        ["kernel", "in_gates", "out_gates", "decomposed", "removed", "swaps", "makespan_ns", "ms"],
+        [
+            (
+                r["kernel"], r["input_gates"], r["output_gates"], r["decomposed"],
+                r["removed"], r["swaps"], r["makespan_ns"], r["compile_time_ms"],
+            )
+            for r in rows
+        ],
+    )
+    for row in rows:
+        assert row["output_gates"] > 0
+        assert row["makespan_ns"] > 0
+        # Everything must be decomposed to the native set, so some expansion happened.
+        assert row["decomposed"] >= 1
+
+
+def test_compile_time_scales_with_circuit_size(benchmark):
+    platform = superconducting_platform()
+
+    def compile_random():
+        program = Program("scale", platform, num_qubits=7)
+        kernel = program.new_kernel("main")
+        kernel.extend(random_circuit(7, 20, seed=3))
+        return Compiler().compile(program).total_gate_count()
+
+    gates = benchmark(compile_random)
+    assert gates > 0

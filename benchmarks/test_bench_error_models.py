@@ -1,0 +1,88 @@
+"""E5 (Sections 2.1 and 2.7): realistic-qubit error behaviour.
+
+The paper motivates simulating error rates from today's 10^-2 down to
+10^-5/10^-6 to "understand the impact of error rates".  The benchmark sweeps
+the depolarising error rate and the circuit depth and reports the resulting
+state fidelity, reproducing the qualitative claims: current error rates
+(10^-2) visibly corrupt even shallow circuits, while 10^-4 and below keeps
+fidelity high; and decoherence grows with circuit duration.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.core.circuit import ghz_circuit, random_circuit
+from repro.qx.error_models import DecoherenceError, DepolarizingError
+from repro.qx.simulator import QXSimulator
+
+
+ERROR_RATES = [1e-2, 1e-3, 1e-4, 1e-5]
+
+
+def _fidelity_for_rate(rate, depth=20, shots=25):
+    circuit = random_circuit(5, depth, seed=5)
+    simulator = QXSimulator(error_model=DepolarizingError(rate), seed=7)
+    return simulator.fidelity_with_ideal(circuit, shots=shots)
+
+
+def test_fidelity_vs_error_rate(benchmark):
+    def sweep():
+        return {rate: _fidelity_for_rate(rate) for rate in ERROR_RATES}
+
+    fidelities = run_once(benchmark, sweep)
+    print_table(
+        "E5a circuit fidelity vs gate error rate (Section 2.7)",
+        ["error_rate", "fidelity"],
+        [(rate, round(fidelities[rate], 4)) for rate in ERROR_RATES],
+    )
+    assert fidelities[1e-2] < fidelities[1e-4]
+    assert fidelities[1e-5] > 0.98
+
+
+def test_fidelity_vs_circuit_depth(benchmark):
+    def sweep():
+        results = {}
+        for depth in (5, 20, 60):
+            circuit = random_circuit(4, depth, seed=9)
+            simulator = QXSimulator(error_model=DepolarizingError(5e-3), seed=11)
+            results[depth] = simulator.fidelity_with_ideal(circuit, shots=25)
+        return results
+
+    fidelities = run_once(benchmark, sweep)
+    print_table(
+        "E5b circuit fidelity vs depth at p = 5e-3",
+        ["depth", "fidelity"],
+        [(depth, round(fid, 4)) for depth, fid in sorted(fidelities.items())],
+    )
+    assert fidelities[5] > fidelities[60]
+
+
+def test_decoherence_vs_gate_duration(benchmark):
+    """Slow technologies lose more fidelity to T1/T2 than fast ones."""
+
+    def sweep():
+        from dataclasses import replace
+
+        from repro.core.circuit import Circuit
+        from repro.core.operations import GateOperation
+
+        results = {}
+        for name, duration_scale in (("fast_20ns_gates", 1.0), ("slow_200ns_gates", 10.0)):
+            base = ghz_circuit(4)
+            circuit = Circuit(base.num_qubits, base.name)
+            for op in base.gate_operations():
+                slowed = replace(op.gate, duration=int(op.gate.duration * duration_scale))
+                circuit.append(GateOperation(slowed, op.qubits))
+            simulator = QXSimulator(
+                error_model=DecoherenceError(t1_ns=20_000.0, t2_ns=15_000.0), seed=13
+            )
+            results[name] = simulator.fidelity_with_ideal(circuit, shots=120)
+        return results
+
+    fidelities = run_once(benchmark, sweep)
+    print_table(
+        "E5c decoherence impact of gate duration (T1 = 20 us)",
+        ["technology", "ghz_fidelity"],
+        [(name, round(fid, 4)) for name, fid in fidelities.items()],
+    )
+    assert fidelities["fast_20ns_gates"] >= fidelities["slow_200ns_gates"]

@@ -1,0 +1,69 @@
+"""E1 (Figures 2 and 3): full-stack execution on perfect vs realistic qubits.
+
+Reproduces the paper's central architectural claim: the same application
+logic runs unchanged through the whole stack (OpenQL -> compiler -> cQASM ->
+QX), and the only difference between the application-development track and
+the experimental track is the qubit model — perfect qubits return the ideal
+answer, realistic qubits degrade it.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.cqasm.parser import cqasm_to_circuit
+from repro.openql.compiler import Compiler
+from repro.openql.platform import perfect_platform, realistic_platform
+from repro.openql.program import Program
+from repro.qx.simulator import QXSimulator
+
+
+def _build_program(platform, num_qubits):
+    program = Program(f"ghz{num_qubits}", platform, num_qubits=num_qubits)
+    kernel = program.new_kernel("main")
+    kernel.h(0)
+    for qubit in range(1, num_qubits):
+        kernel.cnot(0, qubit)
+    kernel.measure_all()
+    return program
+
+
+def _full_stack_run(error_rate, num_qubits=4, shots=400):
+    if error_rate == 0.0:
+        platform = perfect_platform(num_qubits)
+    else:
+        platform = realistic_platform(num_qubits, error_rate=error_rate)
+    compiled = Compiler().compile(_build_program(platform, num_qubits))
+    circuit = cqasm_to_circuit(compiled.cqasm)
+    simulator = QXSimulator(qubit_model=platform.qubit_model, seed=42)
+    result = simulator.run(circuit, shots=shots)
+    good = result.probability("0" * circuit.num_qubits) + result.probability("1" * circuit.num_qubits)
+    return {
+        "gates": compiled.total_gate_count(),
+        "ghz_fidelity_proxy": good,
+        "cqasm_lines": len(compiled.cqasm.splitlines()),
+    }
+
+
+def test_perfect_qubit_full_stack(benchmark):
+    stats = run_once(benchmark, _full_stack_run, 0.0)
+    assert stats["ghz_fidelity_proxy"] == pytest.approx(1.0)
+    print_table(
+        "E1a full stack, perfect qubits (Figure 2b)",
+        ["metric", "value"],
+        [(k, round(v, 4) if isinstance(v, float) else v) for k, v in stats.items()],
+    )
+
+
+def test_realistic_qubit_full_stack_degrades_with_error_rate(benchmark):
+    def sweep():
+        return {rate: _full_stack_run(rate)["ghz_fidelity_proxy"] for rate in (1e-4, 1e-3, 1e-2, 5e-2)}
+
+    series = run_once(benchmark, sweep)
+    rates = sorted(series)
+    print_table(
+        "E1b full stack, realistic qubits: GHZ success vs error rate (Figure 2a)",
+        ["error_rate", "ghz_success_probability"],
+        [(rate, round(series[rate], 3)) for rate in rates],
+    )
+    assert series[1e-4] > series[5e-2]
+    assert series[1e-4] > 0.9

@@ -1,0 +1,89 @@
+"""E10 (Section 2.3): Grover search optimality and the quadratic speedup.
+
+"The quantum search primitive (Grover's search) itself is provably optimal
+over any other classical or quantum unstructured search algorithm.  The
+rather modest quadratic speedup in cycles however becomes extremely relevant
+for industrial application due to the total CPU run-time involved in the big
+data manipulation."
+
+The benchmark reproduces the oracle-query comparison (Grover ~ (pi/4)sqrt(N)
+versus classical ~ N/2) over growing database sizes, and verifies on the
+simulator that the amplified success probability is near 1.
+"""
+
+import math
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.algorithms.grover import (
+    GroverSearch,
+    classical_search_queries,
+    grover_circuit,
+    optimal_grover_iterations,
+)
+from repro.qx.simulator import QXSimulator
+
+
+def test_query_count_scaling(benchmark):
+    def sweep():
+        rows = []
+        for num_qubits in (8, 12, 16, 20, 24):
+            database = 2 ** num_qubits
+            grover = optimal_grover_iterations(database)
+            classical = classical_search_queries(database)
+            rows.append(
+                (
+                    database,
+                    grover,
+                    int(classical),
+                    round(classical / grover, 1),
+                    round(math.sqrt(database), 1),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E10a oracle queries: Grover vs classical exhaustive search",
+        ["database_N", "grover_queries", "classical_queries", "speedup", "sqrt(N)"],
+        rows,
+    )
+    speedups = [row[3] for row in rows]
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))  # speed-up grows with N
+    for database, grover, _, _, sqrt_n in rows:
+        assert grover <= sqrt_n  # ~ (pi/4) sqrt(N) < sqrt(N)
+
+
+def test_amplified_success_probability(benchmark):
+    def run():
+        search = GroverSearch(14)
+        result = search.run(marked=11_111)
+        return result
+
+    result = run_once(benchmark, run)
+    print_table(
+        "E10b Grover amplification on a 16384-entry database",
+        ["metric", "value"],
+        [
+            ("iterations", result.iterations),
+            ("success_probability", round(result.success_probability, 4)),
+            ("best_index_correct", result.best_index == 11_111),
+        ],
+    )
+    assert result.success_probability > 0.99
+
+
+def test_gate_level_grover_on_simulator(benchmark):
+    def run():
+        circuit = grover_circuit(3, marked_state=6)
+        circuit.measure_all()
+        return QXSimulator(seed=5).run(circuit, shots=300)
+
+    result = run_once(benchmark, run)
+    print_table(
+        "E10c gate-level Grover (3 qubits) executed on QX",
+        ["outcome", "counts"],
+        sorted(result.counts.items(), key=lambda kv: -kv[1])[:4],
+    )
+    assert result.most_frequent() == "110"

@@ -1,0 +1,100 @@
+"""E13 (Section 5): towards in-memory computing — qubit-state traffic.
+
+The paper frames qubit routing as the quantum version of the in-memory
+computing data-placement problem: "the qubits need to be put on the quantum
+chip in a way that the movement of qubit states is as minimal as possible".
+This benchmark quantifies that movement: the locality score (1.0 = perfectly
+in-memory, no state movement) of the same algorithms on an all-to-all
+(perfect-qubit) device versus nearest-neighbour grids, and the effect of the
+placement heuristic on it.  It also demonstrates the stabilizer back-end
+handling a QEC-scale Clifford workload far beyond state-vector reach, the
+"large graph processed in real time" regime of Section 2.1.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.core.circuit import ghz_circuit, qft_circuit, random_circuit
+from repro.mapping.placement import greedy_placement, trivial_placement
+from repro.mapping.routing import Router
+from repro.mapping.topology import fully_connected_topology, grid_topology, linear_topology
+from repro.mapping.traffic import TrafficAnalyzer
+from repro.qx.stabilizer import StabilizerSimulator
+
+
+def test_locality_score_by_connectivity(benchmark):
+    def sweep():
+        analyzer = TrafficAnalyzer()
+        circuit = qft_circuit(9, with_swaps=False)
+        rows = []
+        for topology in (fully_connected_topology(9), grid_topology(3, 3), linear_topology(9)):
+            result = Router(topology).route(circuit, greedy_placement(circuit, topology))
+            comparison = analyzer.compare(circuit, result)
+            rows.append(
+                (
+                    topology.name,
+                    round(comparison["routed_locality"], 3),
+                    comparison["movement_gates_added"],
+                    comparison["moved_logical_qubits"],
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E13a in-memory locality of a 9-qubit QFT vs connectivity (Section 5)",
+        ["topology", "locality_score", "state_moves", "logical_qubits_moved"],
+        rows,
+    )
+    localities = {name: score for name, score, *_ in rows}
+    assert localities["full_9"] == 1.0
+    assert localities["grid_3x3"] > localities["linear_9"]
+
+
+def test_placement_effect_on_data_movement(benchmark):
+    def sweep():
+        analyzer = TrafficAnalyzer()
+        topology = grid_topology(3, 3)
+        rows = []
+        for name, build in (
+            ("ghz_9", lambda: ghz_circuit(9)),
+            ("random_9x12", lambda: random_circuit(9, 12, seed=5)),
+        ):
+            circuit = build()
+            trivial = Router(topology).route(circuit, trivial_placement(circuit, topology))
+            greedy = Router(topology).route(circuit, greedy_placement(circuit, topology))
+            rows.append(
+                (
+                    name,
+                    analyzer.analyze_routing(trivial).total_hops,
+                    analyzer.analyze_routing(greedy).total_hops,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E13b data-placement ablation: state moves with trivial vs greedy placement",
+        ["circuit", "hops_trivial", "hops_greedy"],
+        rows,
+    )
+    assert sum(r[2] for r in rows) <= sum(r[1] for r in rows)
+
+
+def test_stabilizer_backend_handles_qec_scale_circuits(benchmark):
+    """Clifford workloads with hundreds of qubits run in the tableau engine."""
+
+    def run():
+        circuit = ghz_circuit(200)
+        circuit.measure_all()
+        counts = StabilizerSimulator(seed=9).run(circuit, shots=10)
+        return counts
+
+    counts = run_once(benchmark, run)
+    print_table(
+        "E13c 200-qubit GHZ on the stabilizer back-end (beyond state-vector reach)",
+        ["outcome", "shots"],
+        [(key[:8] + "...", value) for key, value in counts.items()],
+    )
+    assert set(counts) <= {"0" * 200, "1" * 200}
+    assert sum(counts.values()) == 10

@@ -1,0 +1,113 @@
+"""E11 (Section 2.6): mapping overhead under the nearest-neighbour constraint.
+
+Reproduces the mapping discussion as a measured table: for representative
+circuits (QFT, random, GHZ) placed on 2-D grid topologies, report the SWAPs
+inserted, the gate-count overhead and the depth/latency increase, for both
+the trivial and the interaction-aware initial placement (the ablation of the
+placement design choice called out in DESIGN.md).
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.core.circuit import ghz_circuit, qft_circuit, random_circuit
+from repro.mapping.placement import greedy_placement, trivial_placement
+from repro.mapping.routing import Router
+from repro.mapping.scheduling import Scheduler
+from repro.mapping.topology import grid_topology
+
+
+CIRCUITS = {
+    "qft_8": lambda: qft_circuit(8),
+    "ghz_9": lambda: ghz_circuit(9),
+    "random_9x15": lambda: random_circuit(9, 15, seed=77),
+}
+
+
+def _route(circuit, topology, placement_strategy):
+    placement = (
+        greedy_placement(circuit, topology)
+        if placement_strategy == "greedy"
+        else trivial_placement(circuit, topology)
+    )
+    result = Router(topology).route(circuit, placement)
+    makespan = Scheduler("asap").schedule(result.circuit).makespan
+    return result, makespan
+
+
+def test_routing_overhead_per_circuit(benchmark):
+    topology = grid_topology(3, 3)
+
+    def sweep():
+        rows = []
+        for name, build in CIRCUITS.items():
+            circuit = build()
+            baseline_makespan = Scheduler("asap").schedule(circuit).makespan
+            result, makespan = _route(circuit, topology, "greedy")
+            rows.append(
+                (
+                    name,
+                    circuit.gate_count(),
+                    result.circuit.gate_count(),
+                    result.swaps_inserted,
+                    f"{result.overhead * 100:.0f}%",
+                    baseline_makespan,
+                    makespan,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E11a routing overhead on a 3x3 nearest-neighbour grid (Section 2.6)",
+        ["circuit", "gates_before", "gates_after", "swaps", "overhead", "latency_ns_before", "latency_ns_after"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] >= row[1]
+        assert row[6] >= row[5]
+
+
+def test_placement_ablation_greedy_vs_trivial(benchmark):
+    topology = grid_topology(3, 3)
+
+    def sweep():
+        rows = []
+        for name, build in CIRCUITS.items():
+            circuit = build()
+            trivial_result, _ = _route(circuit, topology, "trivial")
+            greedy_result, _ = _route(circuit, topology, "greedy")
+            rows.append((name, trivial_result.swaps_inserted, greedy_result.swaps_inserted))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E11b ablation: SWAPs inserted with trivial vs interaction-aware placement",
+        ["circuit", "swaps_trivial_placement", "swaps_greedy_placement"],
+        rows,
+    )
+    total_trivial = sum(row[1] for row in rows)
+    total_greedy = sum(row[2] for row in rows)
+    assert total_greedy <= total_trivial
+
+
+def test_grid_size_sweep(benchmark):
+    """Larger (sparser relative to circuit width) grids cost more routing."""
+
+    def sweep():
+        circuit = random_circuit(9, 15, seed=78)
+        rows = []
+        for rows_, cols in ((3, 3), (2, 5), (1, 9)):
+            topology = grid_topology(rows_, cols)
+            result, _ = _route(circuit, topology, "greedy")
+            rows.append((f"{rows_}x{cols}", result.swaps_inserted))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E11c topology shape vs SWAP count (same 9-qubit random circuit)",
+        ["grid", "swaps"],
+        rows,
+    )
+    swaps = dict(rows)
+    assert swaps["1x9"] >= swaps["3x3"]

@@ -1,0 +1,101 @@
+"""E6 (Section 2.1): quantum error correction with error-syndrome measurement.
+
+Reproduces the realistic-qubit QEC workload the paper describes: logical
+error rate versus physical error rate for small codes and for the planar
+surface code at distances 3 and 5, including faulty syndrome measurements
+and matching-based decoding.  The shape to reproduce: below threshold the
+larger distance wins, above threshold it loses (the pseudo-threshold
+crossover), and the small codes suppress errors quadratically.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.qec.codes import RepetitionCode, SteaneCode
+from repro.qec.surface_code import PlanarSurfaceCode
+
+
+def test_small_code_suppression(benchmark):
+    def sweep():
+        rows = []
+        for p in (0.05, 0.02, 0.01, 0.005):
+            rep3 = RepetitionCode(3).logical_error_rate(p, trials=20000, seed=1)
+            rep5 = RepetitionCode(5).logical_error_rate(p, trials=20000, seed=2)
+            steane = SteaneCode().logical_error_rate(p, trials=20000, seed=3)
+            rows.append((p, round(rep3, 5), round(rep5, 5), round(steane, 5)))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E6a small-code logical error rates (NISQ-friendly codes, Section 2.1)",
+        ["physical_p", "repetition_d3", "repetition_d5", "steane_7q"],
+        rows,
+    )
+    # Suppression: logical < physical for every code at p <= 0.02.
+    for p, rep3, rep5, steane in rows:
+        if p <= 0.02:
+            assert rep3 < p and rep5 < p and steane < p
+    # Larger-distance repetition code is better at low p.
+    assert rows[-1][2] <= rows[-1][1]
+
+
+def test_surface_code_threshold_shape(benchmark):
+    def sweep():
+        rows = []
+        for p in (0.005, 0.02, 0.08):
+            d3 = PlanarSurfaceCode(3).logical_error_rate(p, trials=250, seed=4)
+            d5 = PlanarSurfaceCode(5).logical_error_rate(p, trials=250, seed=5)
+            rows.append((p, round(d3, 4), round(d5, 4)))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E6b planar surface code: logical error rate vs physical error rate",
+        ["physical_p", "distance_3", "distance_5"],
+        rows,
+    )
+    # Below threshold: d5 at least as good as d3; far above threshold: d5 worse.
+    assert rows[0][2] <= rows[0][1] + 0.01
+    assert rows[-1][2] >= rows[-1][1] - 0.02
+
+
+def test_surface_code_ancilla_overhead(benchmark):
+    """The resource argument behind Preskill's 'too many ancilla qubits' remark."""
+
+    def resources():
+        return [
+            (code.distance, code.num_data, code.num_ancilla, code.num_physical_qubits)
+            for code in (PlanarSurfaceCode(3), PlanarSurfaceCode(5), PlanarSurfaceCode(7))
+        ]
+
+    rows = run_once(benchmark, resources)
+    print_table(
+        "E6c surface-code qubit overhead per logical qubit",
+        ["distance", "data_qubits", "ancilla_qubits", "total_physical"],
+        rows,
+    )
+    # Quadratic growth of the physical qubit count with distance.
+    assert rows[-1][3] > 4 * rows[0][3] / 2
+    for distance, data, ancilla, total in rows:
+        assert data == distance ** 2
+        assert total == data + ancilla
+
+
+def test_esm_decoding_rate(benchmark):
+    """Defects per round the decoder must process in real time (Section 2.1)."""
+    code = PlanarSurfaceCode(5)
+
+    def measure():
+        return code.run_memory_experiment(0.02, trials=100, seed=6)
+
+    result = run_once(benchmark, measure)
+    print_table(
+        "E6d syndrome-processing load (d = 5, p = 0.02)",
+        ["metric", "value"],
+        [
+            ("rounds_per_trial", result.rounds),
+            ("defects_per_round", round(result.defects_per_round, 2)),
+            ("logical_error_rate", round(result.logical_error_rate, 4)),
+        ],
+    )
+    assert result.defects_per_round > 0

@@ -1,0 +1,138 @@
+"""E7 (Section 3.2, Figure 7): the quantum genome sequencing accelerator.
+
+Reproduces the QGS accelerator experiment: artificial DNA (statistically
+realistic, reduced size), reads with sequencing errors, alignment on the
+quantum associative memory + Grover kernel through the QGS
+micro-architecture, against the classical exhaustive and indexed baselines.
+The shape to reproduce: comparable accuracy, but the quantum path issues
+O(sqrt(N)) oracle queries versus the classical O(N) comparisons, and the
+superposed database stores the reference in exponentially fewer qubits than
+classical bits.
+"""
+
+import math
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.apps.qgs.classical_alignment import ClassicalAligner, IndexedAligner
+from repro.apps.qgs.dna import ArtificialGenome
+from repro.apps.qgs.microarchitecture import QGSMicroArchitecture
+from repro.apps.qgs.quantum_alignment import QuantumAligner
+
+
+GENOME_LENGTH = 60
+READ_LENGTH = 6
+NUM_READS = 12
+ERROR_RATE = 0.05
+
+
+def _run_pipeline():
+    genome = ArtificialGenome(GENOME_LENGTH, seed=101)
+    reads = genome.sample_reads(NUM_READS, READ_LENGTH, error_rate=ERROR_RATE)
+
+    microarch = QGSMicroArchitecture(genome.sequence, READ_LENGTH, seed=102)
+    quantum_report = microarch.align_batch(reads, max_mismatches=1)
+
+    classical = ClassicalAligner(genome.sequence, READ_LENGTH)
+    classical_results = classical.align_all(reads)
+    indexed = IndexedAligner(genome.sequence, READ_LENGTH)
+    indexed_results = indexed.align_all(reads)
+
+    return genome, quantum_report, classical_results, indexed_results
+
+
+def test_alignment_accuracy_and_query_counts(benchmark):
+    genome, quantum, classical_results, indexed_results = run_once(benchmark, _run_pipeline)
+    classical_correct = sum(1 for r in classical_results if r.correct) / len(classical_results)
+    classical_comparisons = sum(r.comparisons for r in classical_results)
+    indexed_comparisons = sum(r.comparisons for r in indexed_results)
+
+    print_table(
+        "E7a read alignment: quantum accelerator vs classical baselines (Figure 7)",
+        ["aligner", "accuracy", "oracle_queries_or_comparisons"],
+        [
+            ("quantum (assoc. memory + Grover)", round(quantum.accuracy, 2), quantum.total_oracle_queries),
+            ("classical exhaustive scan", round(classical_correct, 2), classical_comparisons),
+            ("classical indexed (BWA-like)", round(classical_correct, 2), indexed_comparisons),
+        ],
+    )
+    assert quantum.accuracy >= 0.7
+    # The quantum query count must beat the exhaustive classical scan.
+    assert quantum.total_oracle_queries < classical_comparisons
+
+
+def test_query_scaling_sqrt_vs_linear(benchmark):
+    def sweep():
+        rows = []
+        for length in (24, 48, 96):
+            genome = ArtificialGenome(length, seed=200 + length)
+            aligner = QuantumAligner(genome.sequence, READ_LENGTH, seed=300 + length)
+            read = genome.sample_read(READ_LENGTH, error_rate=0.0)
+            result = aligner.align(read)
+            database = aligner.database_size
+            rows.append(
+                (
+                    database,
+                    result.oracle_queries,
+                    round(math.sqrt(database), 1),
+                    round(result.classical_queries_equivalent, 1),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E7b oracle-query scaling: Grover sqrt(N) vs classical N/2",
+        ["database_size_N", "grover_queries", "sqrt(N)", "classical_expected"],
+        rows,
+    )
+    for database, queries, sqrt_n, classical in rows:
+        assert queries <= sqrt_n + 2
+        assert classical > queries
+
+
+def test_superposed_database_capacity(benchmark):
+    """The 'exponential increase in capacity' headline and the ~150-qubit estimate."""
+
+    def capacity_rows():
+        rows = []
+        for length in (32, 64, 128):
+            genome = ArtificialGenome(length, seed=400 + length)
+            qubits = genome.qubits_required(READ_LENGTH)
+            classical_bits = (length - READ_LENGTH + 1) * 2 * READ_LENGTH
+            rows.append((length, qubits, classical_bits, round(classical_bits / qubits, 1)))
+        return rows
+
+    rows = run_once(benchmark, capacity_rows)
+    print_table(
+        "E7c reference-database capacity: qubits vs classical bits",
+        ["genome_bp", "qubits_needed", "classical_bits", "bits_per_qubit"],
+        rows,
+    )
+    # Capacity advantage grows with the genome size (address qubits grow as log N).
+    advantages = [row[3] for row in rows]
+    assert advantages[-1] > advantages[0]
+
+
+def test_microarchitecture_runtime_accounting(benchmark):
+    def run():
+        genome = ArtificialGenome(48, seed=501)
+        microarch = QGSMicroArchitecture(genome.sequence, READ_LENGTH, seed=502)
+        return microarch.align_batch(genome.sample_reads(6, READ_LENGTH, error_rate=0.05))
+
+    report = run_once(benchmark, run)
+    print_table(
+        "E7d QGS micro-architecture accounting (Figure 7 blocks)",
+        ["metric", "value"],
+        [
+            ("reads_processed", report.reads_processed),
+            ("local_memory_bytes", report.local_memory_bytes),
+            ("queue_max_depth", report.queue_max_depth),
+            ("qubits_used", report.qubits_used),
+            ("estimated_runtime_ns", report.estimated_runtime_ns),
+            ("query_speedup", round(report.quantum_speedup_in_queries, 2)),
+        ],
+    )
+    assert report.estimated_runtime_ns > 0
+    assert report.quantum_speedup_in_queries > 1.0

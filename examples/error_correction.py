@@ -1,0 +1,52 @@
+"""Realistic-qubit track: quantum error correction experiments (Section 2.1).
+
+Shows the QEC workload the paper assigns to the realistic-qubit stack:
+encoding circuits for the small codes executed on QX, and the planar
+surface-code memory experiment with faulty syndrome measurements and the
+matching decoder, swept over physical error rates and code distances.
+
+Run with:  python examples/error_correction.py
+"""
+
+from repro.qec.codes import RepetitionCode, ShorCode, SteaneCode
+from repro.qec.surface_code import PlanarSurfaceCode
+
+
+def small_codes():
+    print("=== Small codes (NISQ-friendly, Preskill's argument) ===")
+    for p in (0.05, 0.02, 0.01):
+        rep3 = RepetitionCode(3).logical_error_rate(p, trials=30000, seed=1)
+        rep5 = RepetitionCode(5).logical_error_rate(p, trials=30000, seed=2)
+        steane = SteaneCode().logical_error_rate(p, trials=30000, seed=3)
+        print(f"  physical p={p:<6}: repetition-3 {rep3:.4f}   "
+              f"repetition-5 {rep5:.4f}   Steane-7 {steane:.4f}")
+
+    shor = ShorCode()
+    worst = min(shor.recovery_fidelity(pauli, qubit) for pauli in "xyz" for qubit in range(9))
+    print(f"  Shor-9 code: worst-case recovery fidelity over all single-qubit "
+          f"Pauli errors = {worst:.3f}")
+
+
+def surface_code():
+    print("\n=== Planar surface code with error-syndrome measurement ===")
+    for distance in (3, 5):
+        code = PlanarSurfaceCode(distance)
+        print(f"  distance {distance}: {code.num_data} data + {code.num_ancilla} ancilla "
+              f"= {code.num_physical_qubits} physical qubits per logical qubit")
+    for p in (0.005, 0.02, 0.06):
+        d3 = PlanarSurfaceCode(3).run_memory_experiment(p, trials=300, seed=4)
+        d5 = PlanarSurfaceCode(5).run_memory_experiment(p, trials=300, seed=5)
+        print(f"  p={p:<6}: logical error rate d=3 {d3.logical_error_rate:.3f} "
+              f"(defects/round {d3.defects_per_round:.1f}),  "
+              f"d=5 {d5.logical_error_rate:.3f} "
+              f"(defects/round {d5.defects_per_round:.1f})")
+    print("  (below threshold the larger distance wins; above it, it loses)")
+
+
+def main():
+    small_codes()
+    surface_code()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quantum genome sequencing accelerator demo (Section 3.2, Figure 7).
+
+Generates an artificial genome with realistic base-pair statistics, samples
+noisy short reads, aligns them with the quantum accelerator (associative
+memory + Grover search through the QGS micro-architecture) and with the
+classical baselines, and prints the comparison the accelerator's speed-up
+claim rests on.
+
+Run with:  python examples/genome_sequencing.py
+"""
+
+from repro.apps.qgs.classical_alignment import ClassicalAligner, IndexedAligner
+from repro.apps.qgs.dna import ArtificialGenome
+from repro.apps.qgs.microarchitecture import QGSMicroArchitecture
+
+
+GENOME_LENGTH = 80
+READ_LENGTH = 6
+NUM_READS = 15
+SEQUENCING_ERROR_RATE = 0.05
+
+
+def main():
+    genome = ArtificialGenome(GENOME_LENGTH, seed=7)
+    print("=== Artificial genome (statistically realistic, reduced size) ===")
+    print(f"  sequence      : {genome.sequence}")
+    print(f"  GC content    : {genome.gc_content():.2f}")
+    print(f"  2-mer entropy : {genome.shannon_entropy(order=2):.2f} bits")
+    print(f"  qubits needed for the sliced reference: {genome.qubits_required(READ_LENGTH)}")
+
+    reads = genome.sample_reads(NUM_READS, READ_LENGTH, error_rate=SEQUENCING_ERROR_RATE)
+    print(f"\nSampled {NUM_READS} reads of length {READ_LENGTH} "
+          f"with {SEQUENCING_ERROR_RATE:.0%} per-base error rate "
+          f"({sum(r.errors for r in reads)} errors injected).")
+
+    # ------------------------------------------------------------------ #
+    # Quantum accelerator path (Figure 7 micro-architecture).
+    # ------------------------------------------------------------------ #
+    microarch = QGSMicroArchitecture(genome.sequence, READ_LENGTH, seed=11)
+    report = microarch.align_batch(reads, max_mismatches=1)
+    print("\n=== Quantum genome-sequencing accelerator ===")
+    print(f"  database size (reference slices) : {report.database_size}")
+    print(f"  qubits used                      : {report.qubits_used}")
+    print(f"  local memory                     : {report.local_memory_bytes} bytes")
+    print(f"  alignment accuracy               : {report.accuracy:.2f}")
+    print(f"  total Grover oracle queries      : {report.total_oracle_queries}")
+    print(f"  estimated runtime                : {report.estimated_runtime_ns} ns")
+
+    # ------------------------------------------------------------------ #
+    # Classical baselines.
+    # ------------------------------------------------------------------ #
+    exhaustive = ClassicalAligner(genome.sequence, READ_LENGTH)
+    exhaustive_results = exhaustive.align_all(reads)
+    indexed = IndexedAligner(genome.sequence, READ_LENGTH)
+    indexed_results = indexed.align_all(reads)
+
+    print("\n=== Classical baselines ===")
+    print(f"  exhaustive scan : accuracy "
+          f"{sum(r.correct for r in exhaustive_results) / len(reads):.2f}, "
+          f"{exhaustive.total_comparisons(exhaustive_results)} comparisons")
+    print(f"  indexed aligner : accuracy "
+          f"{sum(r.correct for r in indexed_results) / len(reads):.2f}, "
+          f"{sum(r.comparisons for r in indexed_results)} comparisons")
+
+    speedup = report.quantum_speedup_in_queries
+    print(f"\nQuery-count advantage of the quantum path: {speedup:.1f}x "
+          f"(sqrt(N) Grover iterations vs ~N/2 classical probes per read)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro: a full-stack quantum accelerator in Python.
+
+Reproduction of *"Quantum Computer Architecture: Towards Full-Stack Quantum
+Accelerators"* (Bertels et al., DATE 2020): the complete accelerator stack —
+application layer, OpenQL-style language and compiler, cQASM / eQASM
+assembly levels, micro-architecture, mapping, QX-style simulation with
+perfect and realistic qubits, quantum error correction, the annealing-based
+accelerator class, and the worked accelerator applications (superconducting
+control, quantum genome sequencing, TSP optimisation).
+
+Quickstart
+----------
+>>> from repro.openql import Program, Compiler, perfect_platform
+>>> from repro.qx import QXSimulator
+>>> from repro.cqasm import cqasm_to_circuit
+>>> platform = perfect_platform(2)
+>>> program = Program("bell", platform)
+>>> kernel = program.new_kernel("main")
+>>> _ = kernel.h(0).cnot(0, 1).measure_all()
+>>> result = Compiler().compile(program)
+>>> counts = QXSimulator(seed=1).run(cqasm_to_circuit(result.cqasm), shots=100).counts
+>>> sorted(counts) == ["00", "11"]
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "openql",
+    "cqasm",
+    "eqasm",
+    "qx",
+    "microarch",
+    "mapping",
+    "qec",
+    "annealing",
+    "algorithms",
+    "apps",
+    "accelerator",
+]

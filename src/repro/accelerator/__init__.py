@@ -1,0 +1,22 @@
+"""Heterogeneous host + accelerator system model (Figures 1, 3 and 8).
+
+The classical host CPU keeps control of the whole application and offloads
+quantum kernels to the quantum accelerator(s), following Amdahl's law for
+the overall speed-up.  The hybrid execution loop implements the fast
+feedback between the quantum device and the classical optimiser required by
+variational (HQC) algorithms.
+"""
+
+from repro.accelerator.host import HostCPU, ApplicationProfile, OffloadReport
+from repro.accelerator.quantum_device import GateModelAccelerator, AnnealingAccelerator
+from repro.accelerator.hybrid import HybridExecutor, HybridResult
+
+__all__ = [
+    "HostCPU",
+    "ApplicationProfile",
+    "OffloadReport",
+    "GateModelAccelerator",
+    "AnnealingAccelerator",
+    "HybridExecutor",
+    "HybridResult",
+]

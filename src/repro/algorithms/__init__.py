@@ -1,0 +1,48 @@
+"""Quantum algorithm library.
+
+The algorithm layer of the stack: canonical quantum kernels built on the
+circuit IR, ready to be compiled by OpenQL and executed on QX or the
+micro-architecture.  Includes the primitives the paper's accelerators are
+built from — Grover search (genome sequencing), QAOA (optimisation),
+randomised benchmarking (superconducting control stack) — plus reference
+algorithms used in tests and benchmarks.
+"""
+
+from repro.algorithms.grover import GroverSearch, grover_circuit, optimal_grover_iterations
+from repro.algorithms.qft import quantum_fourier_transform, inverse_quantum_fourier_transform
+from repro.algorithms.deutsch_jozsa import DeutschJozsa
+from repro.algorithms.bernstein_vazirani import BernsteinVazirani
+from repro.algorithms.qaoa import QAOA, QAOAResult
+from repro.algorithms.vqe import VQE, VQEResult
+from repro.algorithms.randomized_benchmarking import RandomizedBenchmarking, RBResult
+from repro.algorithms.shor import shor_factor, period_finding_classical
+from repro.algorithms.phase_estimation import (
+    estimate_phase,
+    phase_estimation_circuit,
+    quantum_counting,
+    PhaseEstimationResult,
+    CountingResult,
+)
+
+__all__ = [
+    "estimate_phase",
+    "phase_estimation_circuit",
+    "quantum_counting",
+    "PhaseEstimationResult",
+    "CountingResult",
+    "GroverSearch",
+    "grover_circuit",
+    "optimal_grover_iterations",
+    "quantum_fourier_transform",
+    "inverse_quantum_fourier_transform",
+    "DeutschJozsa",
+    "BernsteinVazirani",
+    "QAOA",
+    "QAOAResult",
+    "VQE",
+    "VQEResult",
+    "RandomizedBenchmarking",
+    "RBResult",
+    "shor_factor",
+    "period_finding_classical",
+]

@@ -1,0 +1,55 @@
+"""Bernstein-Vazirani algorithm: recover a hidden bit-string in one query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.circuit import Circuit
+from repro.qx.simulator import QXSimulator
+
+
+@dataclass
+class BernsteinVaziraniResult:
+    recovered: int
+    secret: int
+    success: bool
+    oracle_queries: int = 1
+
+
+class BernsteinVazirani:
+    """Find the secret string s of f(x) = s.x (mod 2) with one oracle query."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1 or num_qubits > 20:
+            raise ValueError("BernsteinVazirani supports 1 to 20 qubits")
+        self.num_qubits = num_qubits
+
+    def circuit(self, secret: int) -> Circuit:
+        """H-layer, phase oracle encoding the secret, H-layer, measure."""
+        if not 0 <= secret < 2 ** self.num_qubits:
+            raise ValueError("secret out of range")
+        circuit = Circuit(self.num_qubits, f"bv_{self.num_qubits}")
+        for qubit in range(self.num_qubits):
+            circuit.h(qubit)
+        for qubit in range(self.num_qubits):
+            if (secret >> qubit) & 1:
+                circuit.z(qubit)
+        for qubit in range(self.num_qubits):
+            circuit.h(qubit)
+        for qubit in range(self.num_qubits):
+            circuit.measure(qubit)
+        return circuit
+
+    def run(self, secret: int, seed: int | None = None) -> BernsteinVaziraniResult:
+        result = QXSimulator(seed=seed).run(self.circuit(secret), shots=1)
+        bits = result.most_frequent()
+        # Bit-string is printed with qubit 0 rightmost.
+        recovered = int(bits, 2)
+        return BernsteinVaziraniResult(
+            recovered=recovered, secret=secret, success=(recovered == secret)
+        )
+
+    @staticmethod
+    def classical_queries(num_qubits: int) -> int:
+        """A classical algorithm needs n queries (one per bit)."""
+        return num_qubits

@@ -1,0 +1,188 @@
+"""Grover's unstructured search.
+
+"The quantum search primitive (Grover's search) itself is provably optimal
+over any other classical or quantum unstructured search algorithm"
+(Section 2.3).  The implementation provides
+
+* a gate-level circuit construction (phase oracle + diffusion operator)
+  suitable for compilation through the OpenQL stack, and
+* an efficient statevector-level implementation used for larger databases
+  (the genome-sequencing accelerator) where building the multi-controlled
+  gates explicitly would be wasteful.
+
+The oracle-query counting (quadratic speedup, experiment E10) is exposed via
+:func:`optimal_grover_iterations` and :class:`GroverSearch.query_count`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.circuit import Circuit
+from repro.qx.statevector import StateVector
+
+
+def optimal_grover_iterations(database_size: int, num_solutions: int = 1) -> int:
+    """Optimal number of Grover iterations ~ (pi/4) sqrt(N / M)."""
+    if database_size < 1 or num_solutions < 1 or num_solutions > database_size:
+        raise ValueError("need 1 <= num_solutions <= database_size")
+    if num_solutions * 4 >= database_size:
+        return 1
+    angle = math.asin(math.sqrt(num_solutions / database_size))
+    return max(1, int(round(math.pi / (4.0 * angle) - 0.5)))
+
+
+def classical_search_queries(database_size: int, num_solutions: int = 1) -> float:
+    """Expected oracle queries of classical exhaustive search."""
+    return (database_size + 1) / (num_solutions + 1)
+
+
+# ---------------------------------------------------------------------- #
+# Gate-level construction
+# ---------------------------------------------------------------------- #
+def _multi_controlled_z(circuit: Circuit, qubits: list[int]) -> None:
+    """Apply a Z gate controlled on all listed qubits being |1>.
+
+    Uses the textbook recursive construction with Toffoli gates for up to
+    three qubits and falls back to the phase-oracle trick (H-sandwiched
+    multi-controlled X built from Toffolis and a work-free relative-phase
+    cascade) for more qubits.  Only used for small gate-level demos; the
+    statevector path handles large registers.
+    """
+    if len(qubits) == 1:
+        circuit.z(qubits[0])
+        return
+    if len(qubits) == 2:
+        circuit.cz(qubits[0], qubits[1])
+        return
+    if len(qubits) == 3:
+        # CCZ = H on target, Toffoli, H on target.
+        a, b, c = qubits
+        circuit.h(c)
+        circuit.toffoli(a, b, c)
+        circuit.h(c)
+        return
+    raise ValueError(
+        "gate-level Grover supports at most 3 qubits per oracle; use GroverSearch "
+        "for larger databases"
+    )
+
+
+def grover_circuit(num_qubits: int, marked_state: int, iterations: int | None = None) -> Circuit:
+    """Gate-level Grover circuit marking one computational basis state.
+
+    Limited to 3 qubits (8-entry database) because the multi-controlled
+    phase is built from Toffoli gates without ancillas; larger searches use
+    :class:`GroverSearch`.
+    """
+    if not 1 <= num_qubits <= 3:
+        raise ValueError("grover_circuit supports 1 to 3 qubits")
+    if not 0 <= marked_state < 2 ** num_qubits:
+        raise ValueError("marked state out of range")
+    if iterations is None:
+        iterations = optimal_grover_iterations(2 ** num_qubits)
+    qubits = list(range(num_qubits))
+    circuit = Circuit(num_qubits, f"grover_{num_qubits}q")
+    for q in qubits:
+        circuit.h(q)
+    for _ in range(iterations):
+        # Phase oracle: flip the sign of |marked_state>.
+        zeros = [q for q in qubits if not (marked_state >> q) & 1]
+        for q in zeros:
+            circuit.x(q)
+        _multi_controlled_z(circuit, qubits)
+        for q in zeros:
+            circuit.x(q)
+        # Diffusion operator: inversion about the mean.
+        for q in qubits:
+            circuit.h(q)
+            circuit.x(q)
+        _multi_controlled_z(circuit, qubits)
+        for q in qubits:
+            circuit.x(q)
+            circuit.h(q)
+    return circuit
+
+
+# ---------------------------------------------------------------------- #
+# Statevector-level implementation
+# ---------------------------------------------------------------------- #
+@dataclass
+class GroverResult:
+    """Outcome of a Grover search run."""
+
+    best_index: int
+    success_probability: float
+    iterations: int
+    oracle_queries: int
+    probabilities: np.ndarray
+
+
+class GroverSearch:
+    """Amplitude-amplification search over an N-entry database."""
+
+    def __init__(self, num_qubits: int, rng: np.random.Generator | None = None):
+        if num_qubits < 1 or num_qubits > 24:
+            raise ValueError("GroverSearch supports 1 to 24 address qubits")
+        self.num_qubits = num_qubits
+        self.database_size = 2 ** num_qubits
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.oracle_queries = 0
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        marked: set[int] | list[int] | int,
+        iterations: int | None = None,
+        initial_amplitudes: np.ndarray | None = None,
+    ) -> GroverResult:
+        """Amplify the amplitude of the marked indices and return statistics."""
+        marked_set = {marked} if isinstance(marked, int) else set(marked)
+        if not marked_set:
+            raise ValueError("need at least one marked entry")
+        for index in marked_set:
+            if not 0 <= index < self.database_size:
+                raise IndexError(f"marked index {index} out of range")
+        if iterations is None:
+            iterations = optimal_grover_iterations(self.database_size, len(marked_set))
+
+        if initial_amplitudes is None:
+            state = np.full(
+                self.database_size, 1.0 / math.sqrt(self.database_size), dtype=complex
+            )
+        else:
+            state = np.asarray(initial_amplitudes, dtype=complex)
+            state = state / np.linalg.norm(state)
+
+        marked_indices = np.array(sorted(marked_set))
+        self.oracle_queries = 0
+        for _ in range(iterations):
+            # Oracle: phase flip on marked entries.
+            state[marked_indices] *= -1.0
+            self.oracle_queries += 1
+            # Diffusion: reflect about the uniform superposition.
+            mean = np.mean(state)
+            state = 2.0 * mean - state
+
+        probabilities = np.abs(state) ** 2
+        success = float(np.sum(probabilities[marked_indices]))
+        best = int(np.argmax(probabilities))
+        return GroverResult(
+            best_index=best,
+            success_probability=success,
+            iterations=iterations,
+            oracle_queries=self.oracle_queries,
+            probabilities=probabilities,
+        )
+
+    def sample(self, result: GroverResult, shots: int = 1) -> list[int]:
+        """Sample measurement outcomes from the amplified distribution."""
+        probs = result.probabilities / result.probabilities.sum()
+        return [int(v) for v in self.rng.choice(self.database_size, size=shots, p=probs)]
+
+    def query_count(self, num_solutions: int = 1) -> int:
+        """Oracle queries Grover needs for this database size."""
+        return optimal_grover_iterations(self.database_size, num_solutions)

@@ -1,0 +1,31 @@
+"""Quantum annealing substrate (Sections 3.3 and 4.2).
+
+The paper's second accelerator class solves Quadratic Unconstrained Binary
+Optimisation (QUBO) problems either on a quantum annealer (D-Wave-like,
+Chimera connectivity, minor embedding required) or on a fully connected
+"digital annealer" (Fujitsu-like).  This subpackage implements the QUBO and
+Ising models, their inter-conversion, classical simulated annealing,
+path-integral simulated *quantum* annealing, the Chimera topology with a
+minor-embedding heuristic, and the digital-annealer solver.
+"""
+
+from repro.annealing.qubo import QUBO
+from repro.annealing.ising import IsingModel
+from repro.annealing.simulated_annealing import SimulatedAnnealer, AnnealResult
+from repro.annealing.quantum_annealer import SimulatedQuantumAnnealer
+from repro.annealing.chimera import chimera_topology, ChimeraGraph
+from repro.annealing.embedding import MinorEmbedder, EmbeddingResult
+from repro.annealing.digital_annealer import DigitalAnnealer
+
+__all__ = [
+    "QUBO",
+    "IsingModel",
+    "SimulatedAnnealer",
+    "AnnealResult",
+    "SimulatedQuantumAnnealer",
+    "chimera_topology",
+    "ChimeraGraph",
+    "MinorEmbedder",
+    "EmbeddingResult",
+    "DigitalAnnealer",
+]

@@ -1,0 +1,99 @@
+"""Digital annealer: fully connected quantum-inspired QUBO solver.
+
+Models the Fujitsu Digital Annealer of Section 4.2: 8192 fully connected
+nodes, so no minor embedding is needed, and a massively parallel-trial
+Monte-Carlo search.  The parallel-trial rule evaluates every single-bit flip
+each step and accepts one of the improving (or thermally excited) moves,
+with an escape offset added when the search is stuck — a faithful
+functional model of the published digital-annealer algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.annealing.qubo import QUBO
+from repro.annealing.simulated_annealing import AnnealResult
+
+
+class DigitalAnnealer:
+    """Fully connected parallel-trial annealer (Fujitsu-style)."""
+
+    def __init__(
+        self,
+        num_nodes: int = 8192,
+        num_sweeps: int = 1000,
+        num_reads: int = 4,
+        beta_start: float = 0.05,
+        beta_end: float = 20.0,
+        escape_offset: float = 0.1,
+        seed: int | None = None,
+    ):
+        self.num_nodes = num_nodes
+        self.num_sweeps = num_sweeps
+        self.num_reads = num_reads
+        self.beta_start = beta_start
+        self.beta_end = beta_end
+        self.escape_offset = escape_offset
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def capacity_check(self, qubo: QUBO) -> bool:
+        """Fully connected: the only limit is the number of nodes."""
+        return qubo.num_variables <= self.num_nodes
+
+    def solve_qubo(self, qubo: QUBO) -> AnnealResult:
+        if not self.capacity_check(qubo):
+            raise ValueError(
+                f"problem has {qubo.num_variables} variables, digital annealer has "
+                f"{self.num_nodes} nodes"
+            )
+        n = qubo.num_variables
+        # Symmetrised Q for O(n) incremental energy deltas.
+        symmetric = qubo.matrix + qubo.matrix.T - np.diag(np.diag(qubo.matrix))
+        linear = np.diag(qubo.matrix).copy()
+        betas = np.geomspace(self.beta_start, self.beta_end, self.num_sweeps)
+
+        best_x: np.ndarray | None = None
+        best_energy = np.inf
+        trace: list[float] = []
+
+        for _ in range(self.num_reads):
+            x = self.rng.integers(0, 2, size=n).astype(float)
+            energy = qubo.energy(x)
+            offset = 0.0
+            for beta in betas:
+                # Energy change of flipping each bit, evaluated in parallel.
+                interaction = symmetric @ x - np.diag(symmetric) * x
+                deltas = np.where(
+                    x == 0,
+                    linear + interaction,
+                    -(linear + interaction),
+                )
+                acceptance = np.exp(-beta * np.clip(deltas - offset, 0.0, 50.0 / beta))
+                accepted = np.nonzero(self.rng.random(n) < acceptance)[0]
+                if accepted.size == 0:
+                    # Dynamic escape: raise the offset until a move is taken.
+                    offset += self.escape_offset
+                    continue
+                offset = 0.0
+                choice = int(self.rng.choice(accepted))
+                x[choice] = 1.0 - x[choice]
+                energy += deltas[choice]
+                trace.append(energy)
+                if energy < best_energy:
+                    best_energy = energy
+                    best_x = x.copy()
+            if energy < best_energy:
+                best_energy = energy
+                best_x = x.copy()
+        assert best_x is not None
+        spins = (2 * best_x - 1).astype(int)
+        return AnnealResult(
+            spins=spins,
+            energy=float(best_energy),
+            num_sweeps=self.num_sweeps,
+            num_reads=self.num_reads,
+            energy_trace=trace,
+            solver="digital_annealer",
+        )

@@ -1,0 +1,140 @@
+"""Quadratic Unconstrained Binary Optimisation (QUBO) model.
+
+``minimise  y = x^T Q x`` with ``x_i`` binary, exactly as written in
+Section 3.3 of the paper.  Q is stored as an upper-triangular matrix; the
+model converts to/from the Ising spin formulation, evaluates candidate
+solutions, and enumerates small instances exactly (the paper's "enumerate
+all possible solutions" step for the 4-city TSP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class QUBO:
+    """A QUBO instance ``y = x^T Q x`` over binary decision variables."""
+
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("Q must be a square matrix")
+        # Canonicalise to upper-triangular form: Q'[i,j] = Q[i,j] + Q[j,i] for i<j.
+        upper = np.triu(matrix) + np.tril(matrix, -1).T
+        self.matrix = upper
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, num_variables: int) -> "QUBO":
+        return cls(np.zeros((num_variables, num_variables)))
+
+    @classmethod
+    def from_dict(cls, num_variables: int, terms: dict[tuple[int, int], float]) -> "QUBO":
+        """Build from a ``{(i, j): weight}`` dictionary (i == j for linear terms)."""
+        matrix = np.zeros((num_variables, num_variables))
+        for (i, j), weight in terms.items():
+            a, b = min(i, j), max(i, j)
+            matrix[a, b] += weight
+        return cls(matrix)
+
+    @property
+    def num_variables(self) -> int:
+        return self.matrix.shape[0]
+
+    def add_term(self, i: int, j: int, weight: float) -> None:
+        a, b = min(i, j), max(i, j)
+        self.matrix[a, b] += weight
+
+    def linear(self) -> np.ndarray:
+        return np.diag(self.matrix).copy()
+
+    def quadratic_terms(self) -> dict[tuple[int, int], float]:
+        terms: dict[tuple[int, int], float] = {}
+        n = self.num_variables
+        for i in range(n):
+            for j in range(i + 1, n):
+                if self.matrix[i, j] != 0.0:
+                    terms[(i, j)] = float(self.matrix[i, j])
+        return terms
+
+    def interaction_graph_edges(self) -> list[tuple[int, int]]:
+        """Variable pairs with a non-zero quadratic coefficient (embedding input)."""
+        return sorted(self.quadratic_terms().keys())
+
+    # ------------------------------------------------------------------ #
+    def energy(self, assignment: np.ndarray) -> float:
+        """Evaluate ``x^T Q x`` for a binary assignment."""
+        x = np.asarray(assignment, dtype=float)
+        if x.shape != (self.num_variables,):
+            raise ValueError("assignment has the wrong length")
+        return float(x @ self.matrix @ x)
+
+    def brute_force(self) -> tuple[np.ndarray, float]:
+        """Exact minimisation by enumeration (up to 24 variables)."""
+        n = self.num_variables
+        if n > 24:
+            raise ValueError("brute force limited to 24 variables")
+        best_energy = np.inf
+        best = np.zeros(n, dtype=int)
+        for value in range(2 ** n):
+            x = np.array([(value >> i) & 1 for i in range(n)], dtype=float)
+            energy = self.energy(x)
+            if energy < best_energy:
+                best_energy = energy
+                best = x.astype(int)
+        return best, float(best_energy)
+
+    # ------------------------------------------------------------------ #
+    def to_ising(self) -> tuple["IsingModel", float]:
+        """Convert to the isomorphic Ising model (x = (1 - s) / 2 ... x = (1+s)/2).
+
+        Uses the substitution ``x_i = (1 + s_i) / 2`` with spins s in {-1, +1};
+        returns the Ising model and the constant energy offset so that
+        ``qubo.energy(x) == ising.energy(s) + offset``.
+        """
+        from repro.annealing.ising import IsingModel
+
+        n = self.num_variables
+        h = np.zeros(n)
+        j = np.zeros((n, n))
+        offset = 0.0
+        for i in range(n):
+            q_ii = self.matrix[i, i]
+            h[i] += q_ii / 2.0
+            offset += q_ii / 2.0
+        for (a, b), weight in self.quadratic_terms().items():
+            j[a, b] += weight / 4.0
+            h[a] += weight / 4.0
+            h[b] += weight / 4.0
+            offset += weight / 4.0
+        return IsingModel(h=h, couplings=j), offset
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"QUBO(variables={self.num_variables}, terms={len(self.quadratic_terms())})"
+
+
+def random_qubo(num_variables: int, density: float = 0.5, seed: int | None = None) -> QUBO:
+    """Random QUBO instance used by the solver-comparison benchmarks."""
+    rng = np.random.default_rng(seed)
+    matrix = np.zeros((num_variables, num_variables))
+    for i in range(num_variables):
+        matrix[i, i] = rng.uniform(-1.0, 1.0)
+        for j in range(i + 1, num_variables):
+            if rng.random() < density:
+                matrix[i, j] = rng.uniform(-1.0, 1.0)
+    return QUBO(matrix)
+
+
+def maxcut_qubo(edges: list[tuple[int, int]], num_vertices: int) -> QUBO:
+    """MaxCut as a QUBO: minimise ``sum_{(i,j)} (2 x_i x_j - x_i - x_j)``."""
+    qubo = QUBO.empty(num_vertices)
+    for i, j in edges:
+        qubo.add_term(i, j, 2.0)
+        qubo.add_term(i, i, -1.0)
+        qubo.add_term(j, j, -1.0)
+    return qubo

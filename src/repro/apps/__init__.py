@@ -1,0 +1,9 @@
+"""Accelerator applications built on the full stack.
+
+Two of the paper's three worked accelerators are implemented here (the
+third, the automotive collaboration, is confidential in the paper itself):
+
+* :mod:`repro.apps.qgs` — quantum genome sequencing (Section 3.2);
+* :mod:`repro.apps.tsp` — quantum optimisation of the travelling salesman
+  problem (Section 3.3).
+"""

@@ -1,0 +1,37 @@
+"""Quantum genome sequencing accelerator (Section 3.2, Figure 7).
+
+"The reference DNA is sliced and stored as indexed entries in a superposed
+quantum database giving exponential increase in capacity ... A quantum
+search on the database amplifies the measurement probability of the nearest
+match to the query and thereby of the corresponding index."
+
+Components:
+
+* :mod:`repro.apps.qgs.dna` — artificial DNA generation "that preserves the
+  statistical and entropic complexity of the base pairs", read sampling with
+  configurable sequencing error, and binary encoding;
+* :mod:`repro.apps.qgs.associative_memory` — the superposed quantum database
+  of reference slices (quantum associative memory);
+* :mod:`repro.apps.qgs.quantum_alignment` — Grover-amplified approximate
+  read alignment returning the closest reference index;
+* :mod:`repro.apps.qgs.classical_alignment` — the classical baselines
+  (exhaustive scan and an indexed aligner) used for the comparison
+  benchmarks.
+"""
+
+from repro.apps.qgs.dna import ArtificialGenome, Read, encode_sequence, decode_sequence
+from repro.apps.qgs.associative_memory import QuantumAssociativeMemory
+from repro.apps.qgs.quantum_alignment import QuantumAligner, AlignmentResult
+from repro.apps.qgs.classical_alignment import ClassicalAligner, IndexedAligner
+
+__all__ = [
+    "ArtificialGenome",
+    "Read",
+    "encode_sequence",
+    "decode_sequence",
+    "QuantumAssociativeMemory",
+    "QuantumAligner",
+    "AlignmentResult",
+    "ClassicalAligner",
+    "IndexedAligner",
+]

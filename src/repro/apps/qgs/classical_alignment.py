@@ -1,0 +1,109 @@
+"""Classical read-alignment baselines.
+
+Two baselines for the comparison benchmarks (experiment E7):
+
+* :class:`ClassicalAligner` — exhaustive scan of every reference position,
+  the unstructured-search baseline whose query count is the N that Grover
+  turns into sqrt(N);
+* :class:`IndexedAligner` — a hash-index aligner (exact-match seed lookup
+  with mismatch fallback), representative of the classical BWA-style tools
+  the paper cites for GPU/FPGA acceleration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.qgs.dna import Read, hamming_distance
+
+
+@dataclass
+class ClassicalAlignmentResult:
+    read: Read
+    reported_position: int
+    correct: bool
+    comparisons: int
+    mismatches: int
+
+
+class ClassicalAligner:
+    """Exhaustive scan: compare the read against every reference position."""
+
+    def __init__(self, reference: str, read_length: int):
+        self.reference = reference
+        self.read_length = read_length
+        self.slices = [
+            reference[i : i + read_length]
+            for i in range(len(reference) - read_length + 1)
+        ]
+
+    @property
+    def database_size(self) -> int:
+        return len(self.slices)
+
+    def align(self, read: Read | str) -> ClassicalAlignmentResult:
+        sequence = read.sequence if isinstance(read, Read) else read
+        read_obj = read if isinstance(read, Read) else Read(sequence=sequence, true_position=-1)
+        best_position = 0
+        best_distance = len(sequence) + 1
+        comparisons = 0
+        for position, candidate in enumerate(self.slices):
+            comparisons += 1
+            distance = hamming_distance(candidate, sequence)
+            if distance < best_distance:
+                best_distance = distance
+                best_position = position
+                if distance == 0:
+                    break
+        correct = (
+            best_position == read_obj.true_position
+            or (read_obj.true_position >= 0
+                and self.slices[best_position] == self.slices[read_obj.true_position])
+            or read_obj.true_position < 0
+        )
+        return ClassicalAlignmentResult(
+            read=read_obj,
+            reported_position=best_position,
+            correct=bool(correct),
+            comparisons=comparisons,
+            mismatches=best_distance,
+        )
+
+    def align_all(self, reads: list[Read]) -> list[ClassicalAlignmentResult]:
+        return [self.align(read) for read in reads]
+
+    def total_comparisons(self, results: list[ClassicalAlignmentResult]) -> int:
+        return sum(r.comparisons for r in results)
+
+
+class IndexedAligner:
+    """Hash-index aligner: exact k-mer lookup with linear mismatch fallback."""
+
+    def __init__(self, reference: str, read_length: int):
+        self.reference = reference
+        self.read_length = read_length
+        self.exhaustive = ClassicalAligner(reference, read_length)
+        self.index: dict[str, list[int]] = {}
+        for position, candidate in enumerate(self.exhaustive.slices):
+            self.index.setdefault(candidate, []).append(position)
+
+    def align(self, read: Read | str) -> ClassicalAlignmentResult:
+        sequence = read.sequence if isinstance(read, Read) else read
+        read_obj = read if isinstance(read, Read) else Read(sequence=sequence, true_position=-1)
+        positions = self.index.get(sequence)
+        if positions:
+            best_position = positions[0]
+            if read_obj.true_position in positions:
+                best_position = read_obj.true_position
+            return ClassicalAlignmentResult(
+                read=read_obj,
+                reported_position=best_position,
+                correct=read_obj.true_position < 0 or read_obj.true_position in positions,
+                comparisons=1,
+                mismatches=0,
+            )
+        # Fall back to the exhaustive scan when the read contains errors.
+        return self.exhaustive.align(read_obj)
+
+    def align_all(self, reads: list[Read]) -> list[ClassicalAlignmentResult]:
+        return [self.align(read) for read in reads]

@@ -1,0 +1,34 @@
+"""Travelling Salesman Problem optimisation accelerator (Section 3.3, Figure 9).
+
+The TSP is the paper's worked QUBO use-case: a route-planning instance over
+four Dutch cities is reduced to a 16-variable QUBO, solved by enumeration
+(optimal cost 1.42), by QAOA on the gate model, and by (simulated) quantum
+annealing; the embedding capacity of Chimera versus fully connected hardware
+bounds how many cities each machine can handle.
+"""
+
+from repro.apps.tsp.tsp import TSPInstance, netherlands_tsp, random_tsp
+from repro.apps.tsp.tsp_qubo import tsp_to_qubo, decode_tour, tour_is_valid
+from repro.apps.tsp.solvers import (
+    brute_force_tsp,
+    nearest_neighbour_tsp,
+    two_opt_tsp,
+    monte_carlo_tsp,
+    solve_tsp_with_annealer,
+    solve_tsp_with_qaoa,
+)
+
+__all__ = [
+    "TSPInstance",
+    "netherlands_tsp",
+    "random_tsp",
+    "tsp_to_qubo",
+    "decode_tour",
+    "tour_is_valid",
+    "brute_force_tsp",
+    "nearest_neighbour_tsp",
+    "two_opt_tsp",
+    "monte_carlo_tsp",
+    "solve_tsp_with_annealer",
+    "solve_tsp_with_qaoa",
+]

@@ -1,0 +1,352 @@
+"""Quantum circuit intermediate representation.
+
+A :class:`Circuit` is an ordered list of operations on a register of
+``num_qubits`` qubits and ``num_bits`` classical bits.  It is the common IR
+produced by the OpenQL layer, transformed by the compiler passes, written
+out as cQASM, and consumed by the QX simulator and the micro-architecture.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.gates import Gate, build_gate
+from repro.core.operations import (
+    Barrier,
+    ClassicalOperation,
+    ConditionalGate,
+    GateOperation,
+    Measurement,
+    Operation,
+)
+
+
+class Circuit:
+    """An ordered sequence of quantum operations on a qubit register."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit", num_bits: int | None = None):
+        if num_qubits < 1:
+            raise ValueError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.num_bits = int(num_bits) if num_bits is not None else int(num_qubits)
+        self.name = name
+        self.operations: list[Operation] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def _check_qubits(self, qubits: Iterable[int]) -> None:
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise IndexError(f"qubit {q} out of range for {self.num_qubits}-qubit circuit")
+
+    def append(self, operation: Operation) -> "Circuit":
+        """Append an already-built operation."""
+        self._check_qubits(operation.qubits)
+        self.operations.append(operation)
+        return self
+
+    def add_gate(self, name: str, *qubits: int, params: tuple | list = ()) -> "Circuit":
+        """Append a gate by mnemonic, e.g. ``circuit.add_gate('cnot', 0, 1)``."""
+        gate = build_gate(name, *params)
+        return self.append(GateOperation(gate, tuple(qubits)))
+
+    def apply(self, gate: Gate, *qubits: int) -> "Circuit":
+        return self.append(GateOperation(gate, tuple(qubits)))
+
+    # Named single-qubit helpers -------------------------------------------------
+    def i(self, qubit: int) -> "Circuit":
+        return self.add_gate("i", qubit)
+
+    def x(self, qubit: int) -> "Circuit":
+        return self.add_gate("x", qubit)
+
+    def y(self, qubit: int) -> "Circuit":
+        return self.add_gate("y", qubit)
+
+    def z(self, qubit: int) -> "Circuit":
+        return self.add_gate("z", qubit)
+
+    def h(self, qubit: int) -> "Circuit":
+        return self.add_gate("h", qubit)
+
+    def s(self, qubit: int) -> "Circuit":
+        return self.add_gate("s", qubit)
+
+    def sdag(self, qubit: int) -> "Circuit":
+        return self.add_gate("sdag", qubit)
+
+    def t(self, qubit: int) -> "Circuit":
+        return self.add_gate("t", qubit)
+
+    def tdag(self, qubit: int) -> "Circuit":
+        return self.add_gate("tdag", qubit)
+
+    def rx(self, qubit: int, theta: float) -> "Circuit":
+        return self.add_gate("rx", qubit, params=(theta,))
+
+    def ry(self, qubit: int, theta: float) -> "Circuit":
+        return self.add_gate("ry", qubit, params=(theta,))
+
+    def rz(self, qubit: int, theta: float) -> "Circuit":
+        return self.add_gate("rz", qubit, params=(theta,))
+
+    # Two- and three-qubit helpers ------------------------------------------------
+    def cnot(self, control: int, target: int) -> "Circuit":
+        return self.add_gate("cnot", control, target)
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        return self.cnot(control, target)
+
+    def cz(self, control: int, target: int) -> "Circuit":
+        return self.add_gate("cz", control, target)
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "Circuit":
+        return self.add_gate("swap", qubit_a, qubit_b)
+
+    def cr(self, control: int, target: int, theta: float) -> "Circuit":
+        return self.add_gate("cr", control, target, params=(theta,))
+
+    def crk(self, control: int, target: int, k: int) -> "Circuit":
+        return self.add_gate("crk", control, target, params=(k,))
+
+    def toffoli(self, control_a: int, control_b: int, target: int) -> "Circuit":
+        return self.add_gate("toffoli", control_a, control_b, target)
+
+    # Non-gate operations ---------------------------------------------------------
+    def measure(self, qubit: int, bit: int | None = None) -> "Circuit":
+        self._check_qubits((qubit,))
+        self.operations.append(Measurement(qubit, bit))
+        return self
+
+    def measure_all(self) -> "Circuit":
+        for qubit in range(self.num_qubits):
+            self.measure(qubit)
+        return self
+
+    def barrier(self, *qubits: int) -> "Circuit":
+        targets = tuple(qubits) if qubits else tuple(range(self.num_qubits))
+        self._check_qubits(targets)
+        self.operations.append(Barrier(targets))
+        return self
+
+    def classical(self, opcode: str, operands: tuple = ()) -> "Circuit":
+        self.operations.append(ClassicalOperation(opcode, operands))
+        return self
+
+    def conditional_gate(
+        self, name: str, condition_bit: int, *qubits: int, params: tuple | list = ()
+    ) -> "Circuit":
+        """Append a gate applied only when ``condition_bit`` measured 1.
+
+        Example (teleportation corrections)::
+
+            circuit.conditional_gate("x", 1, 2)   # X on q2 if bit 1 is set
+            circuit.conditional_gate("z", 0, 2)   # Z on q2 if bit 0 is set
+        """
+        self._check_qubits(qubits)
+        gate = build_gate(name, *params)
+        self.operations.append(ConditionalGate(gate, tuple(qubits), condition_bit))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def gate_operations(self) -> list[GateOperation]:
+        return [op for op in self.operations if isinstance(op, GateOperation)]
+
+    def measurements(self) -> list[Measurement]:
+        return [op for op in self.operations if isinstance(op, Measurement)]
+
+    def gate_count(self, name: str | None = None) -> int:
+        """Number of gate operations, optionally restricted to one mnemonic."""
+        ops = self.gate_operations()
+        if name is None:
+            return len(ops)
+        return sum(1 for op in ops if op.name == name)
+
+    def two_qubit_gate_count(self) -> int:
+        return sum(1 for op in self.gate_operations() if len(op.qubits) == 2)
+
+    def depth(self) -> int:
+        """Circuit depth counted in gate layers (measurements included)."""
+        level: dict[int, int] = {q: 0 for q in range(self.num_qubits)}
+        depth = 0
+        for op in self.operations:
+            if isinstance(op, (GateOperation, Measurement)):
+                start = max((level[q] for q in op.qubits), default=0)
+                for q in op.qubits:
+                    level[q] = start + 1
+                depth = max(depth, start + 1)
+            elif isinstance(op, Barrier):
+                start = max((level[q] for q in op.qubits), default=0)
+                for q in op.qubits:
+                    level[q] = start
+        return depth
+
+    def qubits_used(self) -> set[int]:
+        used: set[int] = set()
+        for op in self.operations:
+            used.update(op.qubits)
+        return used
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def copy(self, name: str | None = None) -> "Circuit":
+        clone = Circuit(self.num_qubits, name or self.name, num_bits=self.num_bits)
+        clone.operations = list(self.operations)
+        return clone
+
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Append the operations of ``other`` to a copy of this circuit."""
+        if other.num_qubits > self.num_qubits:
+            raise ValueError("cannot compose a larger circuit onto a smaller one")
+        result = self.copy()
+        result.operations.extend(other.operations)
+        return result
+
+    def inverse(self) -> "Circuit":
+        """Return the adjoint circuit (gates reversed and daggered).
+
+        Measurements are not invertible and raise ``ValueError``.
+        """
+        result = Circuit(self.num_qubits, f"{self.name}_dag", num_bits=self.num_bits)
+        for op in reversed(self.operations):
+            if isinstance(op, GateOperation):
+                result.append(op.dagger())
+            elif isinstance(op, Barrier):
+                result.append(op)
+            else:
+                raise ValueError("cannot invert a circuit containing measurements")
+        return result
+
+    def remap(self, mapping: dict[int, int], num_qubits: int | None = None) -> "Circuit":
+        """Return a copy with qubit indices translated through ``mapping``."""
+        size = num_qubits if num_qubits is not None else self.num_qubits
+        result = Circuit(size, self.name, num_bits=max(self.num_bits, size))
+        for op in self.operations:
+            result.append(op.remap(mapping))
+        return result
+
+    def to_unitary(self) -> np.ndarray:
+        """Dense unitary of the circuit (gates only; measurement-free circuits).
+
+        Only intended for small circuits (<= ~10 qubits); used by tests and
+        the compiler's equivalence checks.
+        """
+        if self.num_qubits > 12:
+            raise ValueError("to_unitary() is limited to 12 qubits")
+        dim = 2 ** self.num_qubits
+        unitary = np.eye(dim, dtype=complex)
+        for op in self.operations:
+            if isinstance(op, Measurement):
+                raise ValueError("circuit contains measurements; no unitary exists")
+            if not isinstance(op, GateOperation):
+                continue
+            unitary = _expand_gate(op.gate.matrix, op.qubits, self.num_qubits) @ unitary
+        return unitary
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Circuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"ops={len(self.operations)}, depth={self.depth()})"
+        )
+
+
+def _expand_gate(matrix: np.ndarray, qubits: tuple[int, ...], num_qubits: int) -> np.ndarray:
+    """Embed ``matrix`` acting on ``qubits`` into the full ``2**n`` space.
+
+    Qubit 0 is the least-significant bit of the full basis-state index
+    (matching the QX state-vector engine), while inside the gate matrix
+    operand 0 is the *most* significant bit of the gate index (textbook
+    convention, e.g. the CNOT control is the first operand).
+    """
+    k = len(qubits)
+    dim = 2 ** num_qubits
+    full = np.zeros((dim, dim), dtype=complex)
+    for basis in range(dim):
+        sub_in = 0
+        for pos, q in enumerate(qubits):
+            sub_in |= ((basis >> q) & 1) << (k - 1 - pos)
+        rest = basis
+        for q in qubits:
+            rest &= ~(1 << q)
+        column = matrix[:, sub_in]
+        for sub_out in range(2 ** k):
+            amp = column[sub_out]
+            if amp == 0:
+                continue
+            out = rest
+            for pos, q in enumerate(qubits):
+                if (sub_out >> (k - 1 - pos)) & 1:
+                    out |= 1 << q
+            full[out, basis] += amp
+    return full
+
+
+def bell_pair_circuit() -> Circuit:
+    """Two-qubit Bell pair preparation, the canonical smoke-test circuit."""
+    circuit = Circuit(2, "bell")
+    circuit.h(0).cnot(0, 1)
+    return circuit
+
+
+def ghz_circuit(num_qubits: int) -> Circuit:
+    """N-qubit GHZ state preparation used by the QX scalability experiment."""
+    circuit = Circuit(num_qubits, f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(1, num_qubits):
+        circuit.cnot(0, qubit)
+    return circuit
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: int | None = None,
+    two_qubit_fraction: float = 0.3,
+) -> Circuit:
+    """Random circuit generator used by the mapping and compiler benchmarks."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, f"random_{num_qubits}x{depth}")
+    single = ["x", "y", "z", "h", "s", "t"]
+    for _ in range(depth):
+        for qubit in range(num_qubits):
+            if num_qubits > 1 and rng.random() < two_qubit_fraction:
+                other = int(rng.integers(num_qubits - 1))
+                if other >= qubit:
+                    other += 1
+                if qubit < other:
+                    circuit.cnot(qubit, other)
+            else:
+                name = single[int(rng.integers(len(single)))]
+                circuit.add_gate(name, qubit)
+    return circuit
+
+
+def qft_circuit(num_qubits: int, with_swaps: bool = True) -> Circuit:
+    """Quantum Fourier transform circuit (controlled-phase ladder).
+
+    With ``with_swaps=True`` the circuit implements the DFT matrix
+    ``F[j, k] = exp(2*pi*i*j*k / 2**n) / sqrt(2**n)`` in the engine's
+    qubit-0-least-significant basis ordering.
+    """
+    circuit = Circuit(num_qubits, f"qft_{num_qubits}")
+    for target in reversed(range(num_qubits)):
+        circuit.h(target)
+        for offset, control in enumerate(reversed(range(target)), start=2):
+            circuit.cr(control, target, 2.0 * math.pi / (2 ** offset))
+    if with_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit

@@ -1,0 +1,137 @@
+"""Circuit dependency DAG.
+
+The scheduler (ASAP/ALAP list scheduling) and the router both reason about
+which operations depend on which.  The DAG has one node per operation and an
+edge whenever two operations touch the same qubit (or classical bit), with
+the edge weight equal to the predecessor's duration so that critical-path
+(latency) analysis falls out of a longest-path computation.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.circuit import Circuit
+from repro.core.operations import (
+    Barrier,
+    ConditionalGate,
+    GateOperation,
+    Measurement,
+    Operation,
+)
+
+
+class CircuitDAG:
+    """Dependency graph over the operations of a circuit."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.graph = nx.DiGraph()
+        self._build()
+
+    def _build(self) -> None:
+        last_use: dict[int, int] = {}
+        last_bit_writer: dict[int, int] = {}
+        last_barrier: int | None = None
+        for index, op in enumerate(self.circuit.operations):
+            self.graph.add_node(index, operation=op)
+            predecessors: set[int] = set()
+            # Classical data dependencies: a conditional gate must follow the
+            # measurement that produced its condition bit.
+            if isinstance(op, Measurement):
+                last_bit_writer[op.bit] = index
+            if isinstance(op, ConditionalGate) and op.condition_bit in last_bit_writer:
+                predecessors.add(last_bit_writer[op.condition_bit])
+            if isinstance(op, Barrier):
+                # A barrier depends on every operation since the last barrier.
+                predecessors.update(last_use.values())
+                if last_barrier is not None:
+                    predecessors.add(last_barrier)
+                last_barrier = index
+                for qubit in op.qubits:
+                    last_use[qubit] = index
+            else:
+                for qubit in op.qubits:
+                    if qubit in last_use:
+                        predecessors.add(last_use[qubit])
+                    elif last_barrier is not None:
+                        predecessors.add(last_barrier)
+                    last_use[qubit] = index
+            for pred in predecessors:
+                if pred == index:
+                    continue
+                pred_op = self.graph.nodes[pred]["operation"]
+                self.graph.add_edge(pred, index, weight=pred_op.duration)
+
+    # ------------------------------------------------------------------ #
+    def operation(self, node: int) -> Operation:
+        return self.graph.nodes[node]["operation"]
+
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def topological_order(self) -> list[int]:
+        return list(nx.topological_sort(self.graph))
+
+    def predecessors(self, node: int) -> list[int]:
+        return list(self.graph.predecessors(node))
+
+    def successors(self, node: int) -> list[int]:
+        return list(self.graph.successors(node))
+
+    def front_layer(self) -> list[int]:
+        """Operations with no unscheduled predecessors (roots of the DAG)."""
+        return [n for n in self.graph.nodes if self.graph.in_degree(n) == 0]
+
+    def critical_path_length(self) -> int:
+        """Total duration (ns) of the longest dependency chain."""
+        if self.graph.number_of_nodes() == 0:
+            return 0
+        finish: dict[int, int] = {}
+        for node in self.topological_order():
+            op = self.operation(node)
+            start = max((finish[p] for p in self.graph.predecessors(node)), default=0)
+            finish[node] = start + op.duration
+        return max(finish.values(), default=0)
+
+    def asap_levels(self) -> dict[int, int]:
+        """Earliest gate layer for each node (unit-latency ASAP levels)."""
+        levels: dict[int, int] = {}
+        for node in self.topological_order():
+            preds = list(self.graph.predecessors(node))
+            levels[node] = 0 if not preds else max(levels[p] for p in preds) + 1
+        return levels
+
+    def alap_levels(self) -> dict[int, int]:
+        """Latest gate layer for each node given the ASAP total depth."""
+        asap = self.asap_levels()
+        total = max(asap.values(), default=0)
+        levels: dict[int, int] = {}
+        for node in reversed(self.topological_order()):
+            succs = list(self.graph.successors(node))
+            levels[node] = total if not succs else min(levels[s] for s in succs) - 1
+        return levels
+
+    def layers(self) -> list[list[int]]:
+        """Group node indices into ASAP layers of mutually independent operations."""
+        asap = self.asap_levels()
+        if not asap:
+            return []
+        result: list[list[int]] = [[] for _ in range(max(asap.values()) + 1)]
+        for node, level in asap.items():
+            result[level].append(node)
+        return result
+
+    def parallelism(self) -> float:
+        """Average number of operations per layer — the paper's 'inherent parallelism'."""
+        layers = self.layers()
+        if not layers:
+            return 0.0
+        return self.num_nodes() / len(layers)
+
+    def quantum_nodes(self) -> list[int]:
+        return [
+            n
+            for n in self.graph.nodes
+            if isinstance(self.operation(n), (GateOperation, Measurement))
+        ]

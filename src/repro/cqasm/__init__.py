@@ -1,0 +1,24 @@
+"""Common quantum assembly (cQASM) dialect.
+
+cQASM is the paper's common assembly language: the OpenQL compiler emits it,
+the QX simulator executes it, and the eQASM backend lowers it further for a
+specific device.  This subpackage provides the abstract syntax tree
+(:mod:`repro.cqasm.ast`), a writer that serialises circuits to cQASM text
+(:mod:`repro.cqasm.writer`) and a parser that loads cQASM text back into
+circuits (:mod:`repro.cqasm.parser`), giving a full round-trip.
+"""
+
+from repro.cqasm.ast import CqasmProgram, CqasmInstruction, CqasmSubcircuit
+from repro.cqasm.writer import circuit_to_cqasm, program_to_cqasm
+from repro.cqasm.parser import parse_cqasm, cqasm_to_circuit, CqasmSyntaxError
+
+__all__ = [
+    "CqasmProgram",
+    "CqasmInstruction",
+    "CqasmSubcircuit",
+    "circuit_to_cqasm",
+    "program_to_cqasm",
+    "parse_cqasm",
+    "cqasm_to_circuit",
+    "CqasmSyntaxError",
+]

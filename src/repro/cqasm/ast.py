@@ -1,0 +1,105 @@
+"""Abstract syntax tree for the cQASM dialect.
+
+The dialect follows the structure of cQASM 1.0: a version line, a ``qubits
+N`` declaration, and a list of sub-circuits (``.name(iterations)``) each
+containing instructions.  Instructions carry a mnemonic, qubit operands,
+optional classical bit operands and optional real-valued parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CqasmInstruction:
+    """A single cQASM statement."""
+
+    mnemonic: str
+    qubits: tuple[int, ...] = ()
+    bits: tuple[int, ...] = ()
+    params: tuple[float, ...] = ()
+    #: Parallel bundle id: instructions sharing a bundle execute simultaneously.
+    bundle: int | None = None
+
+    def to_line(self) -> str:
+        """Serialise to a single cQASM source line (without indentation)."""
+        parts: list[str] = []
+        operands: list[str] = [f"q[{q}]" for q in self.qubits]
+        operands.extend(f"b[{b}]" for b in self.bits)
+        operands.extend(_format_number(p) for p in self.params)
+        if operands:
+            parts.append(f"{self.mnemonic} {', '.join(operands)}")
+        else:
+            parts.append(self.mnemonic)
+        return "".join(parts)
+
+
+@dataclass
+class CqasmSubcircuit:
+    """A named sub-circuit (kernel) with an optional iteration count."""
+
+    name: str
+    iterations: int = 1
+    instructions: list[CqasmInstruction] = field(default_factory=list)
+
+    def add(self, instruction: CqasmInstruction) -> None:
+        self.instructions.append(instruction)
+
+
+@dataclass
+class CqasmProgram:
+    """A full cQASM translation unit."""
+
+    num_qubits: int
+    version: str = "1.0"
+    subcircuits: list[CqasmSubcircuit] = field(default_factory=list)
+
+    def subcircuit(self, name: str, iterations: int = 1) -> CqasmSubcircuit:
+        sub = CqasmSubcircuit(name=name, iterations=iterations)
+        self.subcircuits.append(sub)
+        return sub
+
+    def all_instructions(self) -> list[CqasmInstruction]:
+        instructions: list[CqasmInstruction] = []
+        for sub in self.subcircuits:
+            for _ in range(sub.iterations):
+                instructions.extend(sub.instructions)
+        return instructions
+
+    def to_text(self) -> str:
+        """Serialise the whole program to cQASM source text."""
+        lines = [f"version {self.version}", "", f"qubits {self.num_qubits}", ""]
+        for sub in self.subcircuits:
+            if sub.iterations != 1:
+                lines.append(f".{sub.name}({sub.iterations})")
+            else:
+                lines.append(f".{sub.name}")
+            bundle: list[CqasmInstruction] = []
+            current_bundle: int | None = None
+            for instruction in sub.instructions:
+                if instruction.bundle is not None and instruction.bundle == current_bundle:
+                    bundle.append(instruction)
+                    continue
+                _flush_bundle(lines, bundle)
+                bundle = [instruction]
+                current_bundle = instruction.bundle
+            _flush_bundle(lines, bundle)
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+def _flush_bundle(lines: list[str], bundle: list[CqasmInstruction]) -> None:
+    if not bundle:
+        return
+    if len(bundle) == 1 or bundle[0].bundle is None:
+        lines.extend(f"    {instr.to_line()}" for instr in bundle)
+    else:
+        joined = " | ".join(instr.to_line() for instr in bundle)
+        lines.append(f"    {{ {joined} }}")
+
+
+def _format_number(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.10g}"

@@ -1,0 +1,198 @@
+"""Parser for the cQASM dialect.
+
+Parses the text produced by :mod:`repro.cqasm.writer` (and hand-written
+cQASM in the same dialect) back into the AST and into executable
+:class:`~repro.core.circuit.Circuit` objects, closing the loop between the
+compiler output and the QX simulator input.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.circuit import Circuit
+from repro.cqasm.ast import CqasmInstruction, CqasmProgram, CqasmSubcircuit
+
+
+class CqasmSyntaxError(ValueError):
+    """Raised when cQASM source text cannot be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        prefix = f"line {line_number}: " if line_number is not None else ""
+        super().__init__(prefix + message)
+        self.line_number = line_number
+
+
+_VERSION_RE = re.compile(r"^version\s+(\d+(?:\.\d+)?)$")
+_QUBITS_RE = re.compile(r"^qubits\s+(\d+)$")
+_SUBCIRCUIT_RE = re.compile(r"^\.([A-Za-z_][\w]*)(?:\((\d+)\))?$")
+_QUBIT_OPERAND_RE = re.compile(r"^q\[(\d+)(?::(\d+))?\]$")
+_BIT_OPERAND_RE = re.compile(r"^b\[(\d+)(?::(\d+))?\]$")
+_NUMBER_RE = re.compile(r"^[-+]?(\d+\.?\d*|\.\d+)([eE][-+]?\d+)?$")
+
+#: Gates that consume one trailing numeric parameter.
+_PARAMETRIC_GATES = {"rx", "ry", "rz", "cr", "phase"}
+
+
+def parse_cqasm(text: str) -> CqasmProgram:
+    """Parse cQASM source text into a :class:`CqasmProgram`."""
+    program: CqasmProgram | None = None
+    version = "1.0"
+    current: CqasmSubcircuit | None = None
+    pending: list[tuple[int, str]] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _VERSION_RE.match(line)
+        if match:
+            version = match.group(1)
+            continue
+        match = _QUBITS_RE.match(line)
+        if match:
+            if program is not None:
+                raise CqasmSyntaxError("duplicate qubits declaration", line_number)
+            program = CqasmProgram(num_qubits=int(match.group(1)), version=version)
+            continue
+        if program is None:
+            raise CqasmSyntaxError("statement before qubits declaration", line_number)
+        match = _SUBCIRCUIT_RE.match(line)
+        if match:
+            iterations = int(match.group(2)) if match.group(2) else 1
+            current = program.subcircuit(match.group(1), iterations=iterations)
+            continue
+        if current is None:
+            current = program.subcircuit("default")
+        pending.append((line_number, line))
+        for number, statement in _expand_bundles(pending.pop(), line_number):
+            for instruction in _parse_statement(statement, number, program.num_qubits):
+                current.add(instruction)
+
+    if program is None:
+        raise CqasmSyntaxError("missing qubits declaration")
+    return program
+
+
+def _expand_bundles(entry: tuple[int, str], line_number: int):
+    """Split ``{ a | b | c }`` parallel bundles into individual statements."""
+    number, line = entry
+    if line.startswith("{") and line.endswith("}"):
+        inner = line[1:-1].strip()
+        for part in inner.split("|"):
+            part = part.strip()
+            if part:
+                yield number, part
+    else:
+        yield number, line
+
+
+def _parse_statement(line: str, line_number: int, num_qubits: int) -> list[CqasmInstruction]:
+    tokens = line.split(None, 1)
+    mnemonic = tokens[0].lower()
+    operand_text = tokens[1] if len(tokens) > 1 else ""
+    qubits: list[int] = []
+    bits: list[int] = []
+    params: list[float] = []
+    if operand_text:
+        for operand in (part.strip() for part in operand_text.split(",")):
+            if not operand:
+                raise CqasmSyntaxError("empty operand", line_number)
+            match = _QUBIT_OPERAND_RE.match(operand)
+            if match:
+                qubits.extend(_expand_range(match, num_qubits, line_number))
+                continue
+            match = _BIT_OPERAND_RE.match(operand)
+            if match:
+                bits.extend(_expand_range(match, num_qubits, line_number))
+                continue
+            if _NUMBER_RE.match(operand):
+                params.append(float(operand))
+                continue
+            if operand.lower() == "pi":
+                params.append(3.141592653589793)
+                continue
+            raise CqasmSyntaxError(f"cannot parse operand {operand!r}", line_number)
+
+    # Broadcast single-qubit mnemonics over a qubit range: "x q[0:3]" means
+    # x on each of q0..q3.
+    if mnemonic in ("measure", "prep_z", "prep_x", "prep_y") or (
+        len(qubits) > 1 and mnemonic not in _TWO_QUBIT_MNEMONICS and mnemonic != "barrier"
+    ):
+        if len(qubits) > 1:
+            return [
+                CqasmInstruction(mnemonic=mnemonic, qubits=(q,), bits=tuple(bits), params=tuple(params))
+                for q in qubits
+            ]
+    return [
+        CqasmInstruction(
+            mnemonic=mnemonic, qubits=tuple(qubits), bits=tuple(bits), params=tuple(params)
+        )
+    ]
+
+
+_TWO_QUBIT_MNEMONICS = {"cnot", "cx", "cz", "swap", "cr", "crk", "toffoli"}
+
+
+def _expand_range(match: re.Match, num_qubits: int, line_number: int) -> list[int]:
+    start = int(match.group(1))
+    end = int(match.group(2)) if match.group(2) is not None else start
+    if end < start:
+        raise CqasmSyntaxError("descending operand range", line_number)
+    if end >= num_qubits:
+        raise CqasmSyntaxError(
+            f"operand index {end} exceeds register size {num_qubits}", line_number
+        )
+    return list(range(start, end + 1))
+
+
+_MNEMONIC_ALIASES = {
+    "cx": "cnot",
+    "toffoli": "toffoli",
+    "x90": "x90",
+    "y90": "y90",
+    "mx90": "mx90",
+    "my90": "my90",
+    "prep_z": "prep_z",
+}
+
+
+def cqasm_to_circuit(text: str) -> Circuit:
+    """Parse cQASM text and build a single flattened circuit."""
+    program = parse_cqasm(text)
+    circuit = Circuit(program.num_qubits, name="cqasm")
+    for instruction in program.all_instructions():
+        _apply_instruction(circuit, instruction)
+    return circuit
+
+
+def _apply_instruction(circuit: Circuit, instruction: CqasmInstruction) -> None:
+    mnemonic = _MNEMONIC_ALIASES.get(instruction.mnemonic, instruction.mnemonic)
+    if mnemonic in ("display", "error_model", "nop", "skip", "wait", "qwait"):
+        return
+    if mnemonic.startswith("c-"):
+        # Binary-controlled gate (cQASM 2.0 hybrid construct).
+        base = _MNEMONIC_ALIASES.get(mnemonic[2:], mnemonic[2:])
+        if not instruction.bits:
+            raise CqasmSyntaxError(f"conditional gate {mnemonic!r} needs a bit operand")
+        params = tuple(instruction.params) if base in _PARAMETRIC_GATES else ()
+        circuit.conditional_gate(base, instruction.bits[0], *instruction.qubits, params=params)
+        return
+    if mnemonic == "prep_z":
+        # Register starts in |0>; an explicit prep is a no-op for fresh circuits.
+        return
+    if mnemonic == "measure":
+        bit = instruction.bits[0] if instruction.bits else None
+        circuit.measure(instruction.qubits[0], bit)
+        return
+    if mnemonic == "measure_all":
+        circuit.measure_all()
+        return
+    if mnemonic == "barrier":
+        circuit.barrier(*instruction.qubits)
+        return
+    if mnemonic == "crk":
+        circuit.crk(instruction.qubits[0], instruction.qubits[1], int(instruction.params[0]))
+        return
+    params = tuple(instruction.params) if mnemonic in _PARAMETRIC_GATES else ()
+    circuit.add_gate(mnemonic, *instruction.qubits, params=params)

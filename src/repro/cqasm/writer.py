@@ -1,0 +1,79 @@
+"""Serialise circuits to cQASM text."""
+
+from __future__ import annotations
+
+from repro.core.circuit import Circuit
+from repro.core.operations import (
+    Barrier,
+    ClassicalOperation,
+    ConditionalGate,
+    GateOperation,
+    Measurement,
+)
+from repro.cqasm.ast import CqasmInstruction, CqasmProgram
+
+#: Circuit gate mnemonics that need renaming for cQASM output.
+_CQASM_NAMES = {
+    "cr": "cr",
+    "crk": "crk",
+    "toffoli": "toffoli",
+    "sdag": "sdag",
+    "tdag": "tdag",
+}
+
+
+def operation_to_instruction(op) -> CqasmInstruction:
+    """Translate one circuit operation to a cQASM instruction."""
+    if isinstance(op, ConditionalGate):
+        params = tuple(float(p) for p in op.gate.params)
+        return CqasmInstruction(
+            mnemonic=f"c-{op.gate.name}",
+            qubits=op.qubits,
+            bits=(op.condition_bit,),
+            params=params,
+        )
+    if isinstance(op, GateOperation):
+        mnemonic = _CQASM_NAMES.get(op.name, op.name)
+        params = tuple(float(p) for p in op.params)
+        # crk stores its integer k as a parameter.
+        return CqasmInstruction(mnemonic=mnemonic, qubits=op.qubits, params=params)
+    if isinstance(op, Measurement):
+        return CqasmInstruction(mnemonic="measure", qubits=(op.qubit,))
+    if isinstance(op, Barrier):
+        return CqasmInstruction(mnemonic="barrier", qubits=op.qubits)
+    if isinstance(op, ClassicalOperation):
+        return CqasmInstruction(mnemonic=op.opcode, qubits=op.qubits, params=op.operands)
+    raise TypeError(f"cannot serialise operation of type {type(op).__name__}")
+
+
+def circuit_to_cqasm(circuit: Circuit, iterations: int = 1) -> str:
+    """Serialise a single circuit into a complete cQASM program."""
+    program = circuit_to_program(circuit, iterations=iterations)
+    return program.to_text()
+
+
+def circuit_to_program(circuit: Circuit, iterations: int = 1) -> CqasmProgram:
+    """Build the cQASM AST for one circuit."""
+    program = CqasmProgram(num_qubits=circuit.num_qubits)
+    sub = program.subcircuit(circuit.name or "main", iterations=iterations)
+    for op in circuit.operations:
+        sub.add(operation_to_instruction(op))
+    return program
+
+
+def program_to_cqasm(circuits: list[Circuit], num_qubits: int | None = None) -> str:
+    """Serialise several kernels (circuits) into one cQASM program.
+
+    This is the form the OpenQL compiler emits for multi-kernel programs:
+    one sub-circuit per kernel, all sharing the same qubit register.
+    """
+    if not circuits:
+        raise ValueError("need at least one circuit")
+    register = num_qubits if num_qubits is not None else max(c.num_qubits for c in circuits)
+    program = CqasmProgram(num_qubits=register)
+    for index, circuit in enumerate(circuits):
+        name = circuit.name or f"kernel_{index}"
+        sub = program.subcircuit(name)
+        for op in circuit.operations:
+            sub.add(operation_to_instruction(op))
+    return program.to_text()

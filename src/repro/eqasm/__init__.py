@@ -1,0 +1,21 @@
+"""eQASM: executable quantum assembly.
+
+The second back-end compiler pass of Section 3.1: cQASM is lowered to
+eQASM, a timed, codeword-based instruction stream that takes the platform's
+low-level information (gate times, topology, codeword table) into account
+and can be executed by the micro-architecture with nanosecond-precise
+timing.
+"""
+
+from repro.eqasm.instructions import EqasmInstruction, EqasmProgram, QuantumBundle
+from repro.eqasm.assembler import EqasmAssembler
+from repro.eqasm.timing import TimingAnalyzer, TimingReport
+
+__all__ = [
+    "EqasmInstruction",
+    "EqasmProgram",
+    "QuantumBundle",
+    "EqasmAssembler",
+    "TimingAnalyzer",
+    "TimingReport",
+]

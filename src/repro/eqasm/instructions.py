@@ -1,0 +1,97 @@
+"""eQASM instruction representation.
+
+An eQASM program is a sequence of *bundles*: a wait-prefix (in cycles)
+followed by one or more quantum micro-operations issued simultaneously, each
+addressed to a target register (the set of qubits the codeword is applied
+to).  Classical instructions (loop counters, branches) may be interleaved.
+This mirrors the structure of the eQASM ISA the paper builds on (Fu et al.),
+in a simplified single-issue form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EqasmInstruction:
+    """A single quantum micro-operation inside a bundle."""
+
+    opcode: str
+    codeword: int
+    qubits: tuple[int, ...]
+    duration_cycles: int = 1
+
+    def to_text(self) -> str:
+        targets = ", ".join(f"q{q}" for q in self.qubits)
+        return f"{self.opcode} {targets}"
+
+
+@dataclass
+class QuantumBundle:
+    """Wait-prefix plus simultaneously issued quantum operations."""
+
+    wait_cycles: int
+    operations: list[EqasmInstruction] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        if not self.operations:
+            return f"qwait {self.wait_cycles}"
+        body = " | ".join(op.to_text() for op in self.operations)
+        prefix = f"{self.wait_cycles}, " if self.wait_cycles else "bs 1 "
+        if self.wait_cycles:
+            return f"qwait {self.wait_cycles}\nbs 1 {body}"
+        return f"bs 1 {body}"
+
+
+@dataclass
+class ClassicalInstruction:
+    """Classical control instruction (registers, branches, loops)."""
+
+    opcode: str
+    operands: tuple = ()
+
+    def to_text(self) -> str:
+        if not self.operands:
+            return self.opcode
+        return f"{self.opcode} " + ", ".join(str(o) for o in self.operands)
+
+
+@dataclass
+class EqasmProgram:
+    """A fully lowered, timed program for one platform."""
+
+    platform_name: str
+    cycle_time_ns: int
+    num_qubits: int
+    bundles: list[QuantumBundle | ClassicalInstruction] = field(default_factory=list)
+    codeword_table: dict[int, str] = field(default_factory=dict)
+
+    def quantum_bundles(self) -> list[QuantumBundle]:
+        return [b for b in self.bundles if isinstance(b, QuantumBundle)]
+
+    def total_cycles(self) -> int:
+        total = 0
+        for bundle in self.quantum_bundles():
+            duration = max((op.duration_cycles for op in bundle.operations), default=0)
+            total += bundle.wait_cycles + duration
+        return total
+
+    def total_duration_ns(self) -> int:
+        return self.total_cycles() * self.cycle_time_ns
+
+    def instruction_count(self) -> int:
+        return sum(
+            len(b.operations) if isinstance(b, QuantumBundle) else 1 for b in self.bundles
+        )
+
+    def to_text(self) -> str:
+        lines = [
+            f"# eQASM for platform {self.platform_name}",
+            f"# cycle time: {self.cycle_time_ns} ns",
+            f"# codewords: {len(self.codeword_table)}",
+            "",
+        ]
+        for bundle in self.bundles:
+            lines.append(bundle.to_text())
+        return "\n".join(lines) + "\n"

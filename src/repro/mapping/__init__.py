@@ -1,0 +1,31 @@
+"""Mapping of quantum circuits onto constrained qubit topologies.
+
+Section 2.6 of the paper: real and realistic qubits live on a 2-D lattice
+with nearest-neighbour-only interactions, so the compiler must place logical
+qubits onto physical locations, route qubit states next to each other (by
+inserting SWAP/MOVE operations) and schedule the resulting operations.
+"""
+
+from repro.mapping.topology import Topology, grid_topology, linear_topology, surface7_topology, surface17_topology, fully_connected_topology
+from repro.mapping.placement import trivial_placement, greedy_placement
+from repro.mapping.routing import Router, RoutingResult
+from repro.mapping.scheduling import Scheduler, Schedule, ScheduledOperation
+from repro.mapping.traffic import TrafficAnalyzer, TrafficReport
+
+__all__ = [
+    "Topology",
+    "grid_topology",
+    "linear_topology",
+    "surface7_topology",
+    "surface17_topology",
+    "fully_connected_topology",
+    "trivial_placement",
+    "greedy_placement",
+    "Router",
+    "RoutingResult",
+    "Scheduler",
+    "Schedule",
+    "ScheduledOperation",
+    "TrafficAnalyzer",
+    "TrafficReport",
+]

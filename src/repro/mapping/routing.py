@@ -1,0 +1,155 @@
+"""Qubit-state routing: SWAP insertion for nearest-neighbour constraints.
+
+When a two-qubit gate targets logical qubits whose physical sites are not
+adjacent, the router inserts SWAP operations along a shortest path until
+they meet — the "MOVE operation for the run-time routing logic" of the
+paper.  The router keeps the evolving logical→physical map, so later gates
+see the updated placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.circuit import Circuit
+from repro.core.operations import Barrier, ClassicalOperation, GateOperation, Measurement
+from repro.mapping.placement import trivial_placement
+from repro.mapping.topology import Topology
+
+
+@dataclass
+class RoutingResult:
+    """Output of the router."""
+
+    circuit: Circuit
+    initial_placement: dict[int, int]
+    final_placement: dict[int, int]
+    swaps_inserted: int = 0
+    original_gate_count: int = 0
+
+    @property
+    def overhead(self) -> float:
+        """Fractional gate-count increase caused by routing."""
+        if self.original_gate_count == 0:
+            return 0.0
+        return self.circuit.gate_count() / self.original_gate_count - 1.0
+
+
+class Router:
+    """Shortest-path SWAP-insertion router."""
+
+    def __init__(self, topology: Topology, use_lookahead: bool = True):
+        self.topology = topology
+        self.use_lookahead = use_lookahead
+
+    def route(
+        self,
+        circuit: Circuit,
+        initial_placement: dict[int, int] | None = None,
+    ) -> RoutingResult:
+        """Insert SWAPs so every two-qubit gate acts on adjacent physical sites.
+
+        The returned circuit is expressed over *physical* qubit indices and
+        is therefore directly executable on the constrained device/simulator.
+        """
+        if circuit.num_qubits > self.topology.num_qubits:
+            raise ValueError(
+                f"circuit needs {circuit.num_qubits} qubits, topology offers "
+                f"{self.topology.num_qubits}"
+            )
+        placement = dict(initial_placement or trivial_placement(circuit, self.topology))
+        logical_to_physical = dict(placement)
+        routed = Circuit(
+            self.topology.num_qubits,
+            name=f"{circuit.name}_routed",
+            num_bits=max(circuit.num_bits, self.topology.num_qubits),
+        )
+        swaps = 0
+
+        for op in circuit.operations:
+            if isinstance(op, GateOperation) and len(op.qubits) == 2:
+                swaps += self._bring_adjacent(op.qubits[0], op.qubits[1], logical_to_physical, routed)
+                routed.append(op.remap(logical_to_physical))
+            elif isinstance(op, (GateOperation, Measurement)):
+                routed.append(op.remap(logical_to_physical))
+            elif isinstance(op, Barrier):
+                routed.append(Barrier(tuple(sorted(logical_to_physical[q] for q in op.qubits))))
+            elif isinstance(op, ClassicalOperation):
+                routed.append(op)
+
+        return RoutingResult(
+            circuit=routed,
+            initial_placement=placement,
+            final_placement=logical_to_physical,
+            swaps_inserted=swaps,
+            original_gate_count=circuit.gate_count(),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _bring_adjacent(
+        self,
+        logical_a: int,
+        logical_b: int,
+        logical_to_physical: dict[int, int],
+        routed: Circuit,
+    ) -> int:
+        """Insert SWAPs until the two logical qubits are on adjacent sites."""
+        site_a = logical_to_physical[logical_a]
+        site_b = logical_to_physical[logical_b]
+        if self.topology.are_adjacent(site_a, site_b):
+            return 0
+        path = self.topology.shortest_path(site_a, site_b)
+        swaps = 0
+        physical_to_logical = {p: l for l, p in logical_to_physical.items()}
+        if self.use_lookahead and len(path) > 3:
+            # Walk both endpoints towards the middle of the path so the two
+            # swap chains are independent and can be issued in parallel:
+            # A ends on path[meet], B ends on path[meet + 1].
+            meet = (len(path) - 2) // 2
+            forward = path[: meet + 1]
+            backward = list(reversed(path[meet + 1:]))
+            swaps += self._walk(forward, logical_to_physical, physical_to_logical, routed, stop_short=False)
+            swaps += self._walk(backward, logical_to_physical, physical_to_logical, routed, stop_short=False)
+        else:
+            # Walk only qubit A along the path until it sits next to B.
+            swaps += self._walk(path, logical_to_physical, physical_to_logical, routed, stop_short=True)
+        return swaps
+
+    def _walk(
+        self,
+        path: list[int],
+        logical_to_physical: dict[int, int],
+        physical_to_logical: dict[int, int],
+        routed: Circuit,
+        stop_short: bool = True,
+    ) -> int:
+        """Swap the state at path[0] along the path, stopping one hop early."""
+        swaps = 0
+        end = len(path) - 1 if stop_short else len(path)
+        for index in range(end - 1):
+            here, there = path[index], path[index + 1]
+            routed.swap(here, there)
+            swaps += 1
+            logical_here = physical_to_logical.get(here)
+            logical_there = physical_to_logical.get(there)
+            if logical_here is not None:
+                logical_to_physical[logical_here] = there
+            if logical_there is not None:
+                logical_to_physical[logical_there] = here
+            physical_to_logical[here], physical_to_logical[there] = (
+                logical_there,
+                logical_here,
+            )
+        return swaps
+
+
+def decompose_swaps(circuit: Circuit) -> Circuit:
+    """Rewrite SWAP gates as three CNOTs (for devices without native SWAP)."""
+    result = Circuit(circuit.num_qubits, name=f"{circuit.name}_noswap", num_bits=circuit.num_bits)
+    for op in circuit.operations:
+        if isinstance(op, GateOperation) and op.name == "swap":
+            a, b = op.qubits
+            result.cnot(a, b).cnot(b, a).cnot(a, b)
+        else:
+            result.append(op)
+    return result

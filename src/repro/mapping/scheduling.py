@@ -1,0 +1,164 @@
+"""Operation scheduling (ASAP / ALAP list scheduling).
+
+The scheduler assigns a start cycle (in nanoseconds) to every operation of a
+circuit, exploiting the "inherent parallelism of the logical qubits" the
+paper describes: operations on disjoint qubits may be issued in the same
+cycle, subject to optional resource constraints such as a limited number of
+parallel two-qubit gates (a stand-in for the limited number of control
+frequencies / AWG channels of a real device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.circuit import Circuit
+from repro.core.dag import CircuitDAG
+from repro.core.operations import Barrier, GateOperation, Measurement, Operation
+
+
+@dataclass
+class ScheduledOperation:
+    """An operation with assigned start/end times (ns)."""
+
+    operation: Operation
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class Schedule:
+    """Timed schedule of a circuit."""
+
+    circuit: Circuit
+    entries: list[ScheduledOperation] = field(default_factory=list)
+    policy: str = "asap"
+
+    @property
+    def makespan(self) -> int:
+        """Total execution latency in nanoseconds."""
+        return max((entry.end for entry in self.entries), default=0)
+
+    def cycles(self) -> dict[int, list[ScheduledOperation]]:
+        """Group entries by start time."""
+        grouped: dict[int, list[ScheduledOperation]] = {}
+        for entry in self.entries:
+            grouped.setdefault(entry.start, []).append(entry)
+        return dict(sorted(grouped.items()))
+
+    def parallelism(self) -> float:
+        """Average number of operations issued per occupied start time."""
+        cycles = self.cycles()
+        if not cycles:
+            return 0.0
+        return len(self.entries) / len(cycles)
+
+    def validate(self) -> None:
+        """Check that no qubit executes two operations at once and deps hold."""
+        busy: dict[int, list[tuple[int, int]]] = {}
+        for entry in self.entries:
+            if isinstance(entry.operation, Barrier):
+                continue
+            for qubit in entry.operation.qubits:
+                for start, end in busy.get(qubit, []):
+                    if entry.start < end and start < entry.end:
+                        raise ValueError(
+                            f"qubit {qubit} double-booked: [{start},{end}) vs "
+                            f"[{entry.start},{entry.end})"
+                        )
+                busy.setdefault(qubit, []).append((entry.start, entry.end))
+
+
+class Scheduler:
+    """ASAP/ALAP list scheduler with an optional two-qubit-gate issue limit."""
+
+    def __init__(self, policy: str = "asap", max_parallel_two_qubit: int | None = None):
+        if policy not in ("asap", "alap"):
+            raise ValueError("policy must be 'asap' or 'alap'")
+        self.policy = policy
+        self.max_parallel_two_qubit = max_parallel_two_qubit
+
+    def schedule(self, circuit: Circuit) -> Schedule:
+        dag = CircuitDAG(circuit)
+        if self.policy == "asap":
+            start_times = self._asap_times(dag)
+        else:
+            start_times = self._alap_times(dag)
+        if self.max_parallel_two_qubit is not None:
+            start_times = self._enforce_issue_limit(dag, start_times)
+        entries = [
+            ScheduledOperation(
+                operation=dag.operation(node),
+                start=start,
+                end=start + dag.operation(node).duration,
+            )
+            for node, start in sorted(start_times.items(), key=lambda kv: (kv[1], kv[0]))
+        ]
+        schedule = Schedule(circuit=circuit, entries=entries, policy=self.policy)
+        schedule.validate()
+        return schedule
+
+    # ------------------------------------------------------------------ #
+    def _asap_times(self, dag: CircuitDAG) -> dict[int, int]:
+        times: dict[int, int] = {}
+        for node in dag.topological_order():
+            preds = dag.predecessors(node)
+            times[node] = max(
+                (times[p] + dag.operation(p).duration for p in preds), default=0
+            )
+        return times
+
+    def _alap_times(self, dag: CircuitDAG) -> dict[int, int]:
+        asap = self._asap_times(dag)
+        total = max(
+            (asap[n] + dag.operation(n).duration for n in asap), default=0
+        )
+        times: dict[int, int] = {}
+        for node in reversed(dag.topological_order()):
+            succs = dag.successors(node)
+            duration = dag.operation(node).duration
+            if not succs:
+                times[node] = total - duration
+            else:
+                times[node] = min(times[s] for s in succs) - duration
+        # Normalise so the earliest operation starts at 0.
+        offset = min(times.values(), default=0)
+        return {n: t - offset for n, t in times.items()}
+
+    def _enforce_issue_limit(self, dag: CircuitDAG, times: dict[int, int]) -> dict[int, int]:
+        """Delay two-qubit gates so at most N are issued at the same time."""
+        limit = self.max_parallel_two_qubit
+        assert limit is not None
+        adjusted = dict(times)
+        changed = True
+        while changed:
+            changed = False
+            by_start: dict[int, list[int]] = {}
+            for node, start in adjusted.items():
+                op = dag.operation(node)
+                if isinstance(op, GateOperation) and len(op.qubits) == 2:
+                    by_start.setdefault(start, []).append(node)
+            for start, nodes in sorted(by_start.items()):
+                if len(nodes) <= limit:
+                    continue
+                for node in sorted(nodes)[limit:]:
+                    adjusted[node] = start + dag.operation(node).duration
+                    changed = True
+            if changed:
+                adjusted = self._repair_dependencies(dag, adjusted)
+        return adjusted
+
+    def _repair_dependencies(self, dag: CircuitDAG, times: dict[int, int]) -> dict[int, int]:
+        repaired = dict(times)
+        for node in dag.topological_order():
+            earliest = max(
+                (repaired[p] + dag.operation(p).duration for p in dag.predecessors(node)),
+                default=0,
+            )
+            if repaired[node] < earliest:
+                repaired[node] = earliest
+        return repaired

@@ -1,0 +1,143 @@
+"""Physical qubit topologies.
+
+A :class:`Topology` is an undirected connectivity graph over physical qubit
+sites.  Two-qubit gates may only be applied across an edge; everything else
+must be routed.  Factory functions provide the layouts discussed in the
+paper: linear chains, 2-D nearest-neighbour grids, the 7- and 17-qubit
+superconducting surface-code layouts, and the unconstrained fully-connected
+graph used with perfect qubits.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+class Topology:
+    """Connectivity graph of a quantum chip."""
+
+    def __init__(self, graph: nx.Graph, name: str = "custom"):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("topology needs at least one qubit site")
+        self.graph = graph
+        self.name = name
+        self._distances: dict[int, dict[int, int]] | None = None
+
+    @property
+    def num_qubits(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def neighbours(self, site: int) -> list[int]:
+        return sorted(self.graph.neighbors(site))
+
+    def are_adjacent(self, site_a: int, site_b: int) -> bool:
+        return self.graph.has_edge(site_a, site_b)
+
+    def edges(self) -> list[tuple[int, int]]:
+        return sorted(tuple(sorted(e)) for e in self.graph.edges())
+
+    def distance(self, site_a: int, site_b: int) -> int:
+        """Hop distance between two sites (0 for the same site)."""
+        if self._distances is None:
+            self._distances = dict(nx.all_pairs_shortest_path_length(self.graph))
+        try:
+            return self._distances[site_a][site_b]
+        except KeyError as exc:
+            raise ValueError(f"no path between sites {site_a} and {site_b}") from exc
+
+    def shortest_path(self, site_a: int, site_b: int) -> list[int]:
+        return nx.shortest_path(self.graph, site_a, site_b)
+
+    def diameter(self) -> int:
+        return nx.diameter(self.graph)
+
+    def average_degree(self) -> float:
+        return 2.0 * self.graph.number_of_edges() / self.num_qubits
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.graph)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Topology({self.name!r}, qubits={self.num_qubits}, edges={self.graph.number_of_edges()})"
+
+
+def linear_topology(num_qubits: int) -> Topology:
+    """1-D chain: qubit i is connected to i+1 only."""
+    graph = nx.path_graph(num_qubits)
+    return Topology(graph, name=f"linear_{num_qubits}")
+
+
+def grid_topology(rows: int, cols: int) -> Topology:
+    """2-D nearest-neighbour lattice, the layout assumed for surface codes."""
+    grid = nx.grid_2d_graph(rows, cols)
+    mapping = {(r, c): r * cols + c for r in range(rows) for c in range(cols)}
+    graph = nx.relabel_nodes(grid, mapping)
+    return Topology(graph, name=f"grid_{rows}x{cols}")
+
+
+def fully_connected_topology(num_qubits: int) -> Topology:
+    """All-to-all connectivity: the perfect-qubit / simulator abstraction."""
+    graph = nx.complete_graph(num_qubits)
+    return Topology(graph, name=f"full_{num_qubits}")
+
+
+def surface7_topology() -> Topology:
+    """7-qubit superconducting layout (Surface-7 style plaquette).
+
+    Connectivity follows the two-row brick pattern used by the Delft
+    superconducting devices: a central data/ancilla plaquette where each
+    qubit couples to 2-4 neighbours.
+    """
+    edges = [
+        (0, 2), (0, 3),
+        (1, 3), (1, 4),
+        (2, 5), (3, 5), (3, 6), (4, 6),
+        (2, 3), (3, 4),
+    ]
+    graph = nx.Graph(edges)
+    return Topology(graph, name="surface7")
+
+
+def surface17_topology() -> Topology:
+    """17-qubit surface-code layout (distance-3 planar code, Surface-17).
+
+    Qubits are arranged on a 2-D diagonal lattice; we model it as the
+    standard 17-site graph with degree 2-4 connectivity.
+    """
+    # Data qubits 0-8 on a 3x3 grid, ancillas 9-16 between them.
+    edges = []
+    # X/Z ancillas each couple to 2 or 4 surrounding data qubits.
+    ancilla_plaquettes = {
+        9: (0, 1),
+        10: (1, 2, 4, 5),
+        11: (3, 4, 0, 1),
+        12: (4, 5, 7, 8),
+        13: (3, 4, 6, 7),
+        14: (6, 7),
+        15: (2, 5),
+        16: (3, 6),
+    }
+    for ancilla, data_qubits in ancilla_plaquettes.items():
+        for data in data_qubits:
+            edges.append((ancilla, data))
+    graph = nx.Graph(edges)
+    return Topology(graph, name="surface17")
+
+
+def ibm_heavy_hex_like(num_qubits: int = 20) -> Topology:
+    """A reduced heavy-hexagon-like lattice for the 20-qubit device comparisons."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_qubits))
+    # Rows of 5 with sparse vertical couplers (heavy-hex flavour).
+    cols = 5
+    rows = (num_qubits + cols - 1) // cols
+    for r in range(rows):
+        for c in range(cols):
+            idx = r * cols + c
+            if idx >= num_qubits:
+                break
+            if c + 1 < cols and idx + 1 < num_qubits:
+                graph.add_edge(idx, idx + 1)
+            if r + 1 < rows and (c % 2 == r % 2) and idx + cols < num_qubits:
+                graph.add_edge(idx, idx + cols)
+    return Topology(graph, name=f"heavy_hex_{num_qubits}")

@@ -1,0 +1,29 @@
+"""Quantum micro-architecture (Section 2.5, Figures 5-7).
+
+The micro-architecture sits between the compiler's eQASM output and the
+quantum device (here: the QX simulator).  It models the blocks of Figure 5/6:
+an instruction fetch/decode front-end, the micro-code unit that expands each
+eQASM operation into horizontal micro-operations (codewords), the timing
+control unit that issues the codewords with nanosecond precision, the
+operation queues feeding the analogue-digital interface (ADI), and the
+measurement result path back to the classical controller.
+"""
+
+from repro.microarch.microcode import MicrocodeUnit, MicroOperation
+from repro.microarch.queues import OperationQueue, QueueStatistics
+from repro.microarch.timing_control import TimingControlUnit, TimedEvent
+from repro.microarch.adi import AnalogDigitalInterface, Pulse
+from repro.microarch.executor import QuantumAccelerator, ExecutionTrace
+
+__all__ = [
+    "MicrocodeUnit",
+    "MicroOperation",
+    "OperationQueue",
+    "QueueStatistics",
+    "TimingControlUnit",
+    "TimedEvent",
+    "AnalogDigitalInterface",
+    "Pulse",
+    "QuantumAccelerator",
+    "ExecutionTrace",
+]

@@ -1,0 +1,26 @@
+"""OpenQL-style programming layer and compiler.
+
+This is the paper's quantum programming language layer (Section 2.4):
+programs are collections of kernels written against a target *platform*
+(which declares the qubit model, topology and gate set), and the compiler
+lowers them through a configurable sequence of passes — decomposition,
+optimisation, mapping (placement + routing), scheduling — down to cQASM and,
+for hardware-like targets, eQASM.
+"""
+
+from repro.openql.platform import Platform, perfect_platform, realistic_platform, superconducting_platform, spin_qubit_platform
+from repro.openql.kernel import Kernel
+from repro.openql.program import Program
+from repro.openql.compiler import Compiler, CompilationResult
+
+__all__ = [
+    "Platform",
+    "perfect_platform",
+    "realistic_platform",
+    "superconducting_platform",
+    "spin_qubit_platform",
+    "Kernel",
+    "Program",
+    "Compiler",
+    "CompilationResult",
+]

@@ -1,0 +1,18 @@
+"""Compiler passes.
+
+Each pass is a callable object transforming a :class:`~repro.core.circuit.Circuit`
+for a given :class:`~repro.openql.platform.Platform`.  The pass manager in
+:mod:`repro.openql.compiler` runs them in order and records statistics.
+"""
+
+from repro.openql.passes.decomposition import DecompositionPass
+from repro.openql.passes.optimization import OptimizationPass
+from repro.openql.passes.mapping_pass import MappingPass
+from repro.openql.passes.scheduling_pass import SchedulingPass
+
+__all__ = [
+    "DecompositionPass",
+    "OptimizationPass",
+    "MappingPass",
+    "SchedulingPass",
+]

@@ -1,0 +1,19 @@
+"""Pass interface shared by all compiler passes."""
+
+from __future__ import annotations
+
+from repro.core.circuit import Circuit
+from repro.openql.platform import Platform
+
+
+class Pass:
+    """Base class: a transformation of a circuit for a platform."""
+
+    name = "pass"
+
+    def run(self, circuit: Circuit, platform: Platform) -> Circuit:
+        raise NotImplementedError
+
+    def statistics(self) -> dict:
+        """Per-pass statistics collected during the last run()."""
+        return {}

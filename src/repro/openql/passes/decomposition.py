@@ -1,0 +1,205 @@
+"""Gate decomposition pass.
+
+Rewrites gates that the target platform does not natively support into
+sequences of primitive gates.  The rules cover the decompositions the paper's
+superconducting back-end needs (CNOT via CZ + Y rotations, Hadamard via
+Y90/X, SWAP via CNOTs, Toffoli via the standard Clifford+T network) plus the
+generic rotation-based fallbacks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.circuit import Circuit
+from repro.core.operations import GateOperation
+from repro.openql.passes.base import Pass
+from repro.openql.platform import Platform
+
+
+class DecompositionPass(Pass):
+    """Decompose non-primitive gates into the platform's native set."""
+
+    name = "decomposition"
+
+    def __init__(self) -> None:
+        self._expanded = 0
+
+    def run(self, circuit: Circuit, platform: Platform) -> Circuit:
+        self._expanded = 0
+        result = Circuit(circuit.num_qubits, circuit.name, num_bits=circuit.num_bits)
+        for op in circuit.operations:
+            if not isinstance(op, GateOperation) or platform.supports(op.name):
+                result.append(op)
+                continue
+            replacement = self._decompose(op, platform)
+            if replacement is None:
+                raise ValueError(
+                    f"cannot decompose gate {op.name!r} for platform {platform.name!r}"
+                )
+            self._expanded += 1
+            for item in replacement:
+                result.append(item)
+        return result
+
+    def statistics(self) -> dict:
+        return {"gates_decomposed": self._expanded}
+
+    # ------------------------------------------------------------------ #
+    def _decompose(self, op: GateOperation, platform: Platform) -> list[GateOperation] | None:
+        """Return a list of operations implementing ``op`` with primitives only."""
+        handlers = {
+            "cnot": self._cnot,
+            "h": self._hadamard,
+            "swap": self._swap,
+            "toffoli": self._toffoli,
+            "s": self._s,
+            "sdag": self._sdag,
+            "t": self._t,
+            "tdag": self._tdag,
+            "z": self._z,
+            "y": self._y,
+            "x": self._x,
+            "cr": self._cr,
+            "crk": self._crk,
+            "cz": self._cz,
+            "rx": self._rx,
+            "ry": self._ry,
+        }
+        handler = handlers.get(op.name)
+        if handler is None:
+            return None
+        fragment = Circuit(max(op.qubits) + 1, "fragment")
+        handler(fragment, op, platform)
+        # Recursively decompose the fragment in case a rule emitted another
+        # non-primitive gate (e.g. SWAP -> CNOT -> CZ).
+        ops: list[GateOperation] = []
+        for item in fragment.operations:
+            assert isinstance(item, GateOperation)
+            if platform.supports(item.name):
+                ops.append(item)
+            else:
+                nested = self._decompose(item, platform)
+                if nested is None:
+                    return None
+                ops.extend(nested)
+        return ops
+
+    # Individual rules ------------------------------------------------- #
+    def _cnot(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        control, target = op.qubits
+        if platform.supports("cz"):
+            # CNOT = (I (x) H) CZ (I (x) H) with H built from native rotations.
+            self._emit_hadamard(circuit, target, platform)
+            circuit.cz(control, target)
+            self._emit_hadamard(circuit, target, platform)
+        else:
+            raise ValueError("platform supports neither CNOT nor CZ")
+
+    def _cz(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        control, target = op.qubits
+        if platform.supports("cnot"):
+            self._emit_hadamard(circuit, target, platform)
+            circuit.cnot(control, target)
+            self._emit_hadamard(circuit, target, platform)
+        else:
+            raise ValueError("platform supports neither CZ nor CNOT")
+
+    def _hadamard(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        self._emit_hadamard(circuit, op.qubits[0], platform)
+
+    def _emit_hadamard(self, circuit: Circuit, qubit: int, platform: Platform) -> None:
+        if platform.supports("h"):
+            circuit.h(qubit)
+        elif platform.supports("y90") and platform.supports("x"):
+            # H = X * Ry(pi/2) up to global phase.
+            circuit.add_gate("y90", qubit)
+            circuit.x(qubit)
+        else:
+            circuit.ry(qubit, math.pi / 2.0)
+            circuit.rx(qubit, math.pi)
+
+    def _swap(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        a, b = op.qubits
+        circuit.cnot(a, b).cnot(b, a).cnot(a, b)
+
+    def _toffoli(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        a, b, c = op.qubits
+        circuit.h(c)
+        circuit.cnot(b, c)
+        circuit.tdag(c)
+        circuit.cnot(a, c)
+        circuit.t(c)
+        circuit.cnot(b, c)
+        circuit.tdag(c)
+        circuit.cnot(a, c)
+        circuit.t(b)
+        circuit.t(c)
+        circuit.h(c)
+        circuit.cnot(a, b)
+        circuit.t(a)
+        circuit.tdag(b)
+        circuit.cnot(a, b)
+
+    def _s(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        circuit.rz(op.qubits[0], math.pi / 2.0)
+
+    def _sdag(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        circuit.rz(op.qubits[0], -math.pi / 2.0)
+
+    def _t(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        circuit.rz(op.qubits[0], math.pi / 4.0)
+
+    def _tdag(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        circuit.rz(op.qubits[0], -math.pi / 4.0)
+
+    def _z(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        circuit.rz(op.qubits[0], math.pi)
+
+    def _y(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        circuit.ry(op.qubits[0], math.pi)
+
+    def _x(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        circuit.rx(op.qubits[0], math.pi)
+
+    def _cr(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        self._emit_controlled_phase(circuit, op.qubits, op.params[0])
+
+    def _crk(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        k = int(op.params[0])
+        self._emit_controlled_phase(circuit, op.qubits, 2.0 * math.pi / (2 ** k))
+
+    def _emit_controlled_phase(
+        self, circuit: Circuit, qubits: tuple[int, ...], theta: float
+    ) -> None:
+        """Controlled phase via CNOT-conjugated Rz rotations (up to global phase)."""
+        control, target = qubits
+        circuit.rz(control, theta / 2.0)
+        circuit.rz(target, theta / 2.0)
+        circuit.cnot(control, target)
+        circuit.rz(target, -theta / 2.0)
+        circuit.cnot(control, target)
+
+    def _rx(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        # Rx(theta): conjugate Rz(theta) by +/-90-degree Y rotations
+        # (circuit order my90, rz, y90; verified up to global phase).
+        qubit = op.qubits[0]
+        theta = op.params[0]
+        if platform.supports("y90") and platform.supports("rz"):
+            circuit.add_gate("my90", qubit)
+            circuit.rz(qubit, theta)
+            circuit.add_gate("y90", qubit)
+        else:
+            raise ValueError("platform cannot express arbitrary rx rotations")
+
+    def _ry(self, circuit: Circuit, op: GateOperation, platform: Platform) -> None:
+        # Ry(theta): conjugate Rz(theta) by +/-90-degree X rotations
+        # (circuit order x90, rz, mx90; verified up to global phase).
+        qubit = op.qubits[0]
+        theta = op.params[0]
+        if platform.supports("x90") and platform.supports("rz"):
+            circuit.add_gate("x90", qubit)
+            circuit.rz(qubit, theta)
+            circuit.add_gate("mx90", qubit)
+        else:
+            raise ValueError("platform cannot express arbitrary ry rotations")

@@ -1,0 +1,134 @@
+"""Circuit optimisation pass.
+
+Peephole optimisations applied iteratively until a fixed point:
+
+* cancellation of adjacent self-inverse gate pairs (X·X, H·H, CNOT·CNOT, ...)
+* cancellation of adjacent gate/adjoint pairs (S·Sdag, T·Tdag)
+* fusion of consecutive rotations about the same axis on the same qubit
+* removal of identity gates and zero-angle rotations
+
+The pass only merges operations that are adjacent *on the qubit timeline*
+(no other operation touching the same qubit in between), so correctness does
+not depend on commutation analysis.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.circuit import Circuit
+from repro.core.gates import HERMITIAN_GATES, build_gate
+from repro.core.operations import GateOperation, Operation
+from repro.openql.passes.base import Pass
+from repro.openql.platform import Platform
+
+_INVERSE_PAIRS = {
+    ("s", "sdag"), ("sdag", "s"),
+    ("t", "tdag"), ("tdag", "t"),
+    ("x90", "mx90"), ("mx90", "x90"),
+    ("y90", "my90"), ("my90", "y90"),
+}
+
+_ROTATIONS = {"rx", "ry", "rz", "cr"}
+
+_ANGLE_EPS = 1e-12
+
+
+class OptimizationPass(Pass):
+    """Fixed-point peephole optimiser."""
+
+    name = "optimization"
+
+    def __init__(self, max_iterations: int = 20):
+        self.max_iterations = max_iterations
+        self._removed = 0
+
+    def run(self, circuit: Circuit, platform: Platform) -> Circuit:
+        self._removed = 0
+        before = circuit.gate_count()
+        operations = list(circuit.operations)
+        for _ in range(self.max_iterations):
+            operations, changed = self._one_round(operations)
+            if not changed:
+                break
+        result = Circuit(circuit.num_qubits, circuit.name, num_bits=circuit.num_bits)
+        result.operations = operations
+        self._removed = before - result.gate_count()
+        return result
+
+    def statistics(self) -> dict:
+        return {"gates_removed": self._removed}
+
+    # ------------------------------------------------------------------ #
+    def _one_round(self, operations: list[Operation]) -> tuple[list[Operation], bool]:
+        changed = False
+        result: list[Operation] = []
+        skip: set[int] = set()
+        for index, op in enumerate(operations):
+            if index in skip:
+                continue
+            if not isinstance(op, GateOperation):
+                result.append(op)
+                continue
+            # Drop identities and null rotations.
+            if op.name == "i" or (
+                op.name in _ROTATIONS and abs(_wrap_angle(op.params[0])) < _ANGLE_EPS
+            ):
+                changed = True
+                continue
+            partner = self._next_on_same_qubits(operations, index, skip)
+            if partner is not None:
+                other = operations[partner]
+                assert isinstance(other, GateOperation)
+                merged = self._try_merge(op, other)
+                if merged is not None:
+                    skip.add(partner)
+                    changed = True
+                    if merged != "cancel":
+                        result.append(merged)
+                    continue
+            result.append(op)
+        return result, changed
+
+    def _next_on_same_qubits(
+        self, operations: list[Operation], index: int, skip: set[int]
+    ) -> int | None:
+        """Index of the next operation acting on exactly the same qubits,
+        provided no other operation touches any of them in between."""
+        target = operations[index]
+        qubits = set(target.qubits)
+        for j in range(index + 1, len(operations)):
+            if j in skip:
+                continue
+            other = operations[j]
+            other_qubits = set(other.qubits)
+            if not (qubits & other_qubits):
+                continue
+            if isinstance(other, GateOperation) and other.qubits == target.qubits:
+                return j
+            return None
+        return None
+
+    def _try_merge(self, first: GateOperation, second: GateOperation):
+        """Return 'cancel', a merged operation, or None if nothing applies."""
+        if first.name == second.name and first.name in HERMITIAN_GATES:
+            return "cancel"
+        if (first.name, second.name) in _INVERSE_PAIRS:
+            return "cancel"
+        if first.name == second.name and first.name in _ROTATIONS:
+            angle = _wrap_angle(first.params[0] + second.params[0])
+            if abs(angle) < _ANGLE_EPS:
+                return "cancel"
+            gate = build_gate(first.name, angle)
+            return GateOperation(gate, first.qubits)
+        return None
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap an angle to (-2*pi, 2*pi] treating full turns as identity."""
+    two_pi = 2.0 * math.pi
+    wrapped = math.fmod(angle, 2.0 * two_pi)
+    # Rotations are 4*pi periodic in general, but 2*pi differs only by a
+    # global phase, which is unobservable, so treat 2*pi as identity.
+    wrapped = math.fmod(wrapped, two_pi)
+    return wrapped

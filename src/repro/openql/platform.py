@@ -1,0 +1,189 @@
+"""Target platform configuration.
+
+A platform bundles everything the compiler needs to know about the target:
+which qubit model it exposes (perfect / realistic / real, Section 2.1),
+how many qubits it has, its connectivity topology, the primitive gate set,
+and per-gate durations.  The same program compiled against different
+platforms produces different cQASM/eQASM — this is exactly the
+"configuration file for the compiler" retargeting mechanism that let the
+paper's micro-architecture drive both a superconducting and a
+semiconducting chip (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.gates import GateSet, standard_gate_set
+from repro.core.qubits import PERFECT, REAL_SPIN, REAL_TRANSMON, REALISTIC, QubitModel
+from repro.mapping.topology import (
+    Topology,
+    fully_connected_topology,
+    grid_topology,
+    linear_topology,
+    surface17_topology,
+    surface7_topology,
+)
+
+
+@dataclass
+class Platform:
+    """Compilation target description."""
+
+    name: str
+    num_qubits: int
+    qubit_model: QubitModel = PERFECT
+    topology: Topology | None = None
+    gate_set: GateSet = field(default_factory=standard_gate_set)
+    #: Primitive gates natively supported by the control hardware; anything
+    #: else must be decomposed by the compiler.
+    primitive_gates: tuple[str, ...] = (
+        "i", "x", "y", "z", "h", "s", "sdag", "t", "tdag",
+        "x90", "y90", "mx90", "my90", "rx", "ry", "rz",
+        "cnot", "cz", "swap", "cr", "crk", "toffoli", "measure",
+    )
+    #: Gate durations in nanoseconds, keyed by mnemonic.
+    gate_durations: dict[str, int] = field(default_factory=dict)
+    cycle_time_ns: int = 20
+
+    def __post_init__(self) -> None:
+        if self.num_qubits < 1:
+            raise ValueError("platform needs at least one qubit")
+        if self.topology is None:
+            self.topology = fully_connected_topology(self.num_qubits)
+        if self.topology.num_qubits < self.num_qubits:
+            raise ValueError("topology smaller than the declared qubit count")
+        defaults = {
+            "measure": self.qubit_model.measurement_ns,
+            "cnot": self.qubit_model.two_qubit_gate_ns,
+            "cz": self.qubit_model.two_qubit_gate_ns,
+            "cr": self.qubit_model.two_qubit_gate_ns,
+            "crk": self.qubit_model.two_qubit_gate_ns,
+            "swap": 3 * self.qubit_model.two_qubit_gate_ns,
+            "toffoli": 6 * self.qubit_model.two_qubit_gate_ns,
+        }
+        for name, duration in defaults.items():
+            self.gate_durations.setdefault(name, duration)
+
+    # ------------------------------------------------------------------ #
+    def duration_of(self, mnemonic: str) -> int:
+        """Gate duration in nanoseconds for this platform."""
+        return self.gate_durations.get(mnemonic, self.qubit_model.single_qubit_gate_ns)
+
+    def supports(self, mnemonic: str) -> bool:
+        return mnemonic in self.primitive_gates
+
+    @property
+    def requires_routing(self) -> bool:
+        """Whether the nearest-neighbour constraint forces SWAP insertion."""
+        return self.qubit_model.nearest_neighbour_only
+
+    def describe(self) -> dict:
+        """JSON-serialisable summary (the 'configuration file' view)."""
+        return {
+            "name": self.name,
+            "num_qubits": self.num_qubits,
+            "qubit_model": self.qubit_model.kind,
+            "topology": self.topology.name,
+            "primitive_gates": list(self.primitive_gates),
+            "gate_durations_ns": dict(self.gate_durations),
+            "cycle_time_ns": self.cycle_time_ns,
+            "nearest_neighbour_only": self.qubit_model.nearest_neighbour_only,
+        }
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        text = json.dumps(self.describe(), indent=2)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+
+# ---------------------------------------------------------------------- #
+# Factory functions for the platforms used throughout the paper.
+# ---------------------------------------------------------------------- #
+def perfect_platform(num_qubits: int, name: str = "perfect") -> Platform:
+    """Perfect qubits, all-to-all connectivity: application-development mode."""
+    return Platform(
+        name=name,
+        num_qubits=num_qubits,
+        qubit_model=PERFECT,
+        topology=fully_connected_topology(num_qubits),
+    )
+
+
+def realistic_platform(
+    num_qubits: int,
+    error_rate: float = 1e-3,
+    rows: int | None = None,
+    name: str = "realistic",
+) -> Platform:
+    """Realistic qubits on a 2-D nearest-neighbour grid."""
+    qubit_model = REALISTIC.with_error_rate(error_rate)
+    if rows is None:
+        rows = max(1, int(num_qubits ** 0.5))
+    cols = (num_qubits + rows - 1) // rows
+    return Platform(
+        name=name,
+        num_qubits=num_qubits,
+        qubit_model=qubit_model,
+        topology=grid_topology(rows, cols),
+    )
+
+
+def superconducting_platform(name: str = "surface7_transmon") -> Platform:
+    """Real transmon platform modelled on the 7-qubit superconducting device.
+
+    Native gates: single-qubit rotations around X/Y (pi and pi/2 pulses),
+    virtual Z, and the CZ two-qubit flux gate; CNOT is not native and must
+    be decomposed by the compiler.
+    """
+    return Platform(
+        name=name,
+        num_qubits=7,
+        qubit_model=REAL_TRANSMON,
+        topology=surface7_topology(),
+        primitive_gates=(
+            "i", "x", "y", "x90", "y90", "mx90", "my90", "rz", "cz", "measure", "swap",
+        ),
+        gate_durations={
+            "x": 20, "y": 20, "x90": 20, "y90": 20, "mx90": 20, "my90": 20,
+            "rz": 0, "cz": 40, "measure": 600, "swap": 120,
+        },
+        cycle_time_ns=20,
+    )
+
+
+def spin_qubit_platform(name: str = "spin_qubit_2x2") -> Platform:
+    """Real semiconducting (spin) qubit platform: slower gates, linear array.
+
+    Retargeting the same micro-architecture to this platform only requires
+    this different configuration (Section 3.1).
+    """
+    return Platform(
+        name=name,
+        num_qubits=4,
+        qubit_model=REAL_SPIN,
+        topology=linear_topology(4),
+        primitive_gates=("i", "x", "y", "x90", "y90", "mx90", "my90", "rz", "cz", "measure", "swap"),
+        gate_durations={
+            "x": 100, "y": 100, "x90": 100, "y90": 100, "mx90": 100, "my90": 100,
+            "rz": 0, "cz": 200, "measure": 1000, "swap": 600,
+        },
+        cycle_time_ns=100,
+    )
+
+
+def surface17_platform(name: str = "surface17_transmon") -> Platform:
+    """17-qubit surface-code platform used by the QEC experiments."""
+    return Platform(
+        name=name,
+        num_qubits=17,
+        qubit_model=REAL_TRANSMON,
+        topology=surface17_topology(),
+        primitive_gates=(
+            "i", "x", "y", "x90", "y90", "mx90", "my90", "rz", "cz", "cnot", "measure", "swap",
+        ),
+        cycle_time_ns=20,
+    )

@@ -1,0 +1,27 @@
+"""Quantum error correction.
+
+The realistic-qubit track of the paper (Section 2.1) relies on QEC: data
+qubits hold the state, ancilla qubits detect bit-flip and phase-flip errors
+through error-syndrome measurements (ESM), and a decoder interprets the
+syndrome graph in real time.  This subpackage implements
+
+* small codes as circuits (3-qubit repetition, Shor-9, Steane-7) executed on
+  the QX simulator, and
+* a Pauli-frame planar surface-code model with multi-round syndrome
+  extraction and a matching-based decoder, used for the logical-vs-physical
+  error-rate experiment (E6).
+"""
+
+from repro.qec.codes import RepetitionCode, ShorCode, SteaneCode
+from repro.qec.surface_code import PlanarSurfaceCode, SurfaceCodeResult
+from repro.qec.decoder import MatchingDecoder, LookupDecoder
+
+__all__ = [
+    "RepetitionCode",
+    "ShorCode",
+    "SteaneCode",
+    "PlanarSurfaceCode",
+    "SurfaceCodeResult",
+    "MatchingDecoder",
+    "LookupDecoder",
+]

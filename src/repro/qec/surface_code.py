@@ -1,0 +1,222 @@
+"""Rotated planar surface code with error-syndrome measurement.
+
+Pauli-frame simulation of the rotated distance-d surface code: d*d data
+qubits sit on a d x d grid, Z-type ancillas measure plaquette parities every
+round (detecting X errors), measurement outcomes may themselves be faulty,
+and a matching-based decoder pairs up syndrome *defects* (changes between
+consecutive rounds) in space-time.  This is the workload the paper describes
+for realistic qubits: "after every sequence of quantum gates, the system
+needs to measure out its state and interpret those measurements to see if an
+error has been produced ... a very large graph needs to be processed and
+interpreted in real-time".
+
+Only the bit-flip (X error / Z stabiliser) sector is simulated; the
+phase-flip sector is related by exchanging rows and columns and has
+identical statistics under the symmetric error model used here.
+
+Geometry conventions
+--------------------
+* data qubit (r, c) has index ``r * d + c``;
+* Z-plaquette centres sit at half-integer coordinates; interior plaquettes
+  have weight 4, boundary plaquettes (left and right columns) weight 2;
+* X-error chains terminate on the top and bottom boundaries;
+* the logical observable is the parity of X errors along the middle data
+  row (a horizontal logical-Z line), so a logical failure is an X chain
+  connecting top to bottom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.qec.decoder import MatchingDecoder
+
+
+@dataclass
+class SurfaceCodeResult:
+    """Outcome of a multi-round logical-memory experiment."""
+
+    distance: int
+    rounds: int
+    trials: int
+    physical_error_rate: float
+    measurement_error_rate: float
+    logical_failures: int
+    total_defects: int = 0
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.logical_failures / max(self.trials, 1)
+
+    @property
+    def defects_per_round(self) -> float:
+        return self.total_defects / max(self.trials * self.rounds, 1)
+
+
+class PlanarSurfaceCode:
+    """Rotated planar surface code of odd distance d (d*d data qubits)."""
+
+    def __init__(self, distance: int = 3):
+        if distance < 3 or distance % 2 == 0:
+            raise ValueError("distance must be an odd integer >= 3")
+        self.distance = distance
+        self._build_layout()
+
+    # ------------------------------------------------------------------ #
+    # Layout
+    # ------------------------------------------------------------------ #
+    def _build_layout(self) -> None:
+        d = self.distance
+        self.num_data = d * d
+        self.plaquettes: list[tuple[int, ...]] = []
+        self.plaquette_centres: list[tuple[float, float]] = []
+        # Interior weight-4 Z-plaquettes on a checkerboard ((r + c) even).
+        for r in range(d - 1):
+            for c in range(d - 1):
+                if (r + c) % 2 == 0:
+                    self.plaquettes.append(
+                        (r * d + c, r * d + c + 1, (r + 1) * d + c, (r + 1) * d + c + 1)
+                    )
+                    self.plaquette_centres.append((r + 0.5, c + 0.5))
+        # Weight-2 boundary Z-plaquettes on the left (c = -1) and right
+        # (c = d - 1) edges, continuing the checkerboard.
+        for r in range(d - 1):
+            if (r + (-1)) % 2 == 0:
+                self.plaquettes.append((r * d, (r + 1) * d))
+                self.plaquette_centres.append((r + 0.5, -0.5))
+            if (r + (d - 1)) % 2 == 0:
+                self.plaquettes.append((r * d + d - 1, (r + 1) * d + d - 1))
+                self.plaquette_centres.append((r + 0.5, d - 0.5))
+        self.num_ancilla = len(self.plaquettes)
+        #: Reference data row whose X-error parity is the logical observable.
+        self.reference_row = d // 2
+
+    def x_stabilizers(self) -> list[tuple[int, ...]]:
+        """Supports of the X-type stabilisers (the complementary checkerboard).
+
+        X-stabilisers commute with every Z-plaquette (they overlap in 0 or 2
+        data qubits), so applying one as an X-error pattern is undetectable
+        *and* does not flip the logical observable — the property test of the
+        stabiliser group structure.
+        """
+        d = self.distance
+        stabilizers: list[tuple[int, ...]] = []
+        for r in range(d - 1):
+            for c in range(d - 1):
+                if (r + c) % 2 == 1:
+                    stabilizers.append(
+                        (r * d + c, r * d + c + 1, (r + 1) * d + c, (r + 1) * d + c + 1)
+                    )
+        for c in range(d - 1):
+            if (-1 + c) % 2 == 1:
+                stabilizers.append((c, c + 1))
+            if ((d - 1) + c) % 2 == 1:
+                stabilizers.append(((d - 1) * d + c, (d - 1) * d + c + 1))
+        return stabilizers
+
+    @property
+    def num_physical_qubits(self) -> int:
+        """Data plus ancilla qubits — the resource count the paper's NISQ
+        argument is about (surface codes "require too many ancilla qubits")."""
+        return self.num_data + self.num_ancilla
+
+    # ------------------------------------------------------------------ #
+    # Syndromes and logical observable
+    # ------------------------------------------------------------------ #
+    def syndrome(self, errors: np.ndarray) -> np.ndarray:
+        """Parity of every Z-plaquette for a given X-error pattern."""
+        result = np.zeros(self.num_ancilla, dtype=np.int8)
+        for index, plaquette in enumerate(self.plaquettes):
+            result[index] = int(np.sum(errors[list(plaquette)]) % 2)
+        return result
+
+    def error_crossing_parity(self, errors: np.ndarray) -> int:
+        """Parity of X errors on the reference row (logical observable)."""
+        d = self.distance
+        row = errors[self.reference_row * d : (self.reference_row + 1) * d]
+        return int(np.sum(row) % 2)
+
+    def minimum_weight_logical(self) -> np.ndarray:
+        """A minimum-weight logical X operator (one full column of X errors)."""
+        errors = np.zeros(self.num_data, dtype=np.int8)
+        for r in range(self.distance):
+            errors[r * self.distance] = 1
+        return errors
+
+    # ------------------------------------------------------------------ #
+    # Memory experiment
+    # ------------------------------------------------------------------ #
+    def run_memory_experiment(
+        self,
+        physical_error_rate: float,
+        rounds: int | None = None,
+        trials: int = 500,
+        measurement_error_rate: float | None = None,
+        seed: int | None = None,
+    ) -> SurfaceCodeResult:
+        """Logical memory experiment: accumulate errors over ESM rounds.
+
+        Each round every data qubit suffers an X error with probability
+        ``physical_error_rate`` and every ancilla reports a wrong parity with
+        probability ``measurement_error_rate``.  Space-time defects are
+        matched by :class:`~repro.qec.decoder.MatchingDecoder`; a trial fails
+        when the decoder's correction disagrees with the true logical parity.
+        """
+        rng = np.random.default_rng(seed)
+        rounds = rounds if rounds is not None else self.distance
+        measurement_error_rate = (
+            measurement_error_rate if measurement_error_rate is not None else physical_error_rate
+        )
+        decoder = MatchingDecoder(self)
+        failures = 0
+        total_defects = 0
+        for _ in range(trials):
+            errors = np.zeros(self.num_data, dtype=np.int8)
+            previous = np.zeros(self.num_ancilla, dtype=np.int8)
+            defects: list[tuple[int, int]] = []
+            for round_index in range(rounds):
+                new_errors = (rng.random(self.num_data) < physical_error_rate).astype(np.int8)
+                errors ^= new_errors
+                observed = self.syndrome(errors)
+                flips = (rng.random(self.num_ancilla) < measurement_error_rate).astype(np.int8)
+                observed = observed ^ flips
+                changed = observed ^ previous
+                defects.extend((round_index, int(a)) for a in np.nonzero(changed)[0])
+                previous = observed
+            # Final perfect read-out round closes open defect chains in time.
+            observed = self.syndrome(errors)
+            changed = observed ^ previous
+            defects.extend((rounds, int(a)) for a in np.nonzero(changed)[0])
+            total_defects += len(defects)
+
+            correction_parity = decoder.decode(defects)
+            if correction_parity != self.error_crossing_parity(errors):
+                failures += 1
+        return SurfaceCodeResult(
+            distance=self.distance,
+            rounds=rounds,
+            trials=trials,
+            physical_error_rate=physical_error_rate,
+            measurement_error_rate=measurement_error_rate,
+            logical_failures=failures,
+            total_defects=total_defects,
+        )
+
+    def logical_error_rate(
+        self,
+        physical_error_rate: float,
+        trials: int = 500,
+        rounds: int | None = None,
+        measurement_error_rate: float | None = None,
+        seed: int | None = None,
+    ) -> float:
+        """Convenience wrapper returning only the logical error rate."""
+        return self.run_memory_experiment(
+            physical_error_rate,
+            rounds=rounds,
+            trials=trials,
+            measurement_error_rate=measurement_error_rate,
+            seed=seed,
+        ).logical_error_rate

@@ -1,0 +1,42 @@
+"""QX-style quantum simulator.
+
+Re-implementation of the role the QX simulator plays in the paper's stack
+(Section 2.7): execute cQASM-level circuits on either *perfect* qubits (no
+errors — application development mode) or *realistic* qubits (configurable
+error models — architecture exploration mode), measure, and return results
+to the micro-architecture.
+"""
+
+from repro.qx.statevector import StateVector
+from repro.qx.error_models import (
+    ErrorModel,
+    NoError,
+    DepolarizingError,
+    DecoherenceError,
+    MeasurementError,
+    AsymmetricPauliError,
+    CrosstalkError,
+    CompositeError,
+    error_model_for,
+)
+from repro.qx.simulator import QXSimulator, SimulationResult
+from repro.qx.density import DensityMatrixSimulator
+from repro.qx.stabilizer import StabilizerSimulator, StabilizerState
+
+__all__ = [
+    "StateVector",
+    "ErrorModel",
+    "NoError",
+    "DepolarizingError",
+    "DecoherenceError",
+    "MeasurementError",
+    "AsymmetricPauliError",
+    "CrosstalkError",
+    "CompositeError",
+    "error_model_for",
+    "QXSimulator",
+    "SimulationResult",
+    "DensityMatrixSimulator",
+    "StabilizerSimulator",
+    "StabilizerState",
+]

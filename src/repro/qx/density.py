@@ -1,0 +1,84 @@
+"""Density-matrix simulator.
+
+A small (<= 10 qubit) density-matrix engine used to cross-check the
+trajectory-based error models of the state-vector engine: the depolarising
+channel has an exact Kraus representation here, so expectation values from
+many state-vector trajectories must converge to the density-matrix result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.circuit import Circuit, _expand_gate
+from repro.core.operations import GateOperation, Measurement
+
+
+class DensityMatrixSimulator:
+    """Exact open-system simulation with per-gate depolarising noise."""
+
+    def __init__(self, num_qubits: int, depolarizing_rate: float = 0.0):
+        if num_qubits > 10:
+            raise ValueError("density-matrix engine limited to 10 qubits")
+        if not 0.0 <= depolarizing_rate <= 1.0:
+            raise ValueError("depolarizing_rate outside [0, 1]")
+        self.num_qubits = num_qubits
+        self.depolarizing_rate = depolarizing_rate
+        dim = 2 ** num_qubits
+        self.rho = np.zeros((dim, dim), dtype=complex)
+        self.rho[0, 0] = 1.0
+
+    def reset(self) -> None:
+        self.rho[:] = 0
+        self.rho[0, 0] = 1.0
+
+    def apply_unitary(self, matrix: np.ndarray, qubits: tuple[int, ...]) -> None:
+        full = _expand_gate(matrix, qubits, self.num_qubits)
+        self.rho = full @ self.rho @ full.conj().T
+
+    def apply_depolarizing(self, qubit: int, probability: float) -> None:
+        """Apply the exact single-qubit depolarising channel."""
+        if probability <= 0:
+            return
+        paulis = {
+            "x": np.array([[0, 1], [1, 0]], dtype=complex),
+            "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+            "z": np.array([[1, 0], [0, -1]], dtype=complex),
+        }
+        new_rho = (1.0 - probability) * self.rho
+        for matrix in paulis.values():
+            full = _expand_gate(matrix, (qubit,), self.num_qubits)
+            new_rho += (probability / 3.0) * (full @ self.rho @ full.conj().T)
+        self.rho = new_rho
+
+    def run(self, circuit: Circuit) -> None:
+        """Evolve the density matrix through a measurement-free circuit."""
+        if circuit.num_qubits > self.num_qubits:
+            raise ValueError("circuit does not fit")
+        for op in circuit.operations:
+            if isinstance(op, Measurement):
+                raise ValueError("density-matrix run() does not support measurements")
+            if isinstance(op, GateOperation):
+                self.apply_unitary(op.gate.matrix, op.qubits)
+                if self.depolarizing_rate > 0:
+                    for qubit in op.qubits:
+                        self.apply_depolarizing(qubit, self.depolarizing_rate)
+
+    def probabilities(self) -> np.ndarray:
+        return np.real(np.diag(self.rho)).clip(min=0.0)
+
+    def expectation_z(self, qubit: int) -> float:
+        probs = self.probabilities()
+        indices = np.arange(probs.size)
+        signs = 1.0 - 2.0 * ((indices >> qubit) & 1)
+        return float(np.sum(signs * probs))
+
+    def purity(self) -> float:
+        return float(np.real(np.trace(self.rho @ self.rho)))
+
+    def fidelity_with_pure(self, state: np.ndarray) -> float:
+        state = np.asarray(state, dtype=complex)
+        return float(np.real(state.conj() @ self.rho @ state))
+
+    def trace(self) -> float:
+        return float(np.real(np.trace(self.rho)))

@@ -1,0 +1,269 @@
+"""Error models for realistic qubits.
+
+Section 2.7 of the paper: when simulating *realistic* qubits the QX engine
+inserts stochastic errors after gates and around measurements.  The basic
+model is the depolarising channel ("every quantum gate is followed by some
+error, drawn from a uniform distribution of the different errors that can
+follow: Pauli X, Y or Z"); richer models add T1/T2 decoherence proportional
+to the elapsed time and classical measurement read-out errors.
+
+All error models operate on a :class:`~repro.qx.statevector.StateVector` by
+stochastically injecting Pauli operations (quantum trajectory method), so a
+single simulation run corresponds to one physical shot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.qubits import PERFECT, QubitModel
+from repro.qx.statevector import StateVector
+
+
+class ErrorModel:
+    """Interface for stochastic error injection."""
+
+    def apply_after_gate(
+        self,
+        state: StateVector,
+        qubits: tuple[int, ...],
+        duration_ns: float,
+        rng: np.random.Generator,
+    ) -> int:
+        """Inject errors after a gate; returns the number of errors injected."""
+        return 0
+
+    def flip_measurement(self, outcome: int, rng: np.random.Generator) -> int:
+        """Possibly flip a classical measurement outcome."""
+        return outcome
+
+    def describe(self) -> str:
+        return self.__class__.__name__
+
+
+class NoError(ErrorModel):
+    """Perfect qubits: no errors at all."""
+
+
+@dataclass
+class DepolarizingError(ErrorModel):
+    """Symmetric depolarising channel applied after every gate.
+
+    With probability ``error_rate`` one of X, Y, Z is applied (uniformly) to
+    each qubit the gate touched.  Two-qubit gates may use a separate, larger
+    ``two_qubit_error_rate``.
+    """
+
+    error_rate: float
+    two_qubit_error_rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError("error_rate outside [0, 1]")
+
+    def apply_after_gate(self, state, qubits, duration_ns, rng) -> int:
+        rate = self.error_rate
+        if len(qubits) >= 2 and self.two_qubit_error_rate is not None:
+            rate = self.two_qubit_error_rate
+        injected = 0
+        for qubit in qubits:
+            if rng.random() < rate:
+                pauli = ("x", "y", "z")[int(rng.integers(3))]
+                state.apply_pauli(pauli, qubit)
+                injected += 1
+        return injected
+
+    def describe(self) -> str:
+        return f"depolarizing(p={self.error_rate:g})"
+
+
+@dataclass
+class DecoherenceError(ErrorModel):
+    """T1 relaxation and T2 dephasing proportional to elapsed gate time.
+
+    Amplitude damping is approximated in the trajectory picture by a
+    probabilistic reset-to-ground of the qubit (projective collapse to
+    ``|0>`` with the damping probability); dephasing by a probabilistic Z.
+    """
+
+    t1_ns: float
+    t2_ns: float
+
+    def apply_after_gate(self, state, qubits, duration_ns, rng) -> int:
+        injected = 0
+        for qubit in qubits:
+            p_decay = 0.0 if np.isinf(self.t1_ns) else 1.0 - np.exp(-duration_ns / self.t1_ns)
+            if rng.random() < p_decay:
+                # Trajectory approximation of amplitude damping: collapse to
+                # the measured value and reset to |0> if it was |1>.
+                outcome = state.measure(qubit)
+                if outcome == 1:
+                    state.apply_pauli("x", qubit)
+                injected += 1
+                continue
+            inv_tphi = 0.0
+            if not np.isinf(self.t2_ns):
+                inv_tphi = max(1.0 / self.t2_ns - 0.5 / max(self.t1_ns, 1e-30), 0.0)
+            p_dephase = 1.0 - np.exp(-duration_ns * inv_tphi) if inv_tphi > 0 else 0.0
+            if rng.random() < p_dephase:
+                state.apply_pauli("z", qubit)
+                injected += 1
+        return injected
+
+    def describe(self) -> str:
+        return f"decoherence(T1={self.t1_ns:g}ns, T2={self.t2_ns:g}ns)"
+
+
+@dataclass
+class MeasurementError(ErrorModel):
+    """Classical read-out error: flip the reported bit with a fixed probability."""
+
+    flip_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.flip_probability <= 1.0:
+            raise ValueError("flip_probability outside [0, 1]")
+
+    def flip_measurement(self, outcome: int, rng) -> int:
+        if rng.random() < self.flip_probability:
+            return 1 - outcome
+        return outcome
+
+    def describe(self) -> str:
+        return f"measurement(p={self.flip_probability:g})"
+
+
+@dataclass
+class AsymmetricPauliError(ErrorModel):
+    """Biased Pauli channel with independent X, Y and Z probabilities.
+
+    Real devices are rarely depolarising: dephasing (Z) usually dominates.
+    This model lets the realistic-qubit experiments go "beyond simplistic
+    error models such as the depolarising model" (Section 2.7) by setting,
+    e.g., ``p_z >> p_x``.
+    """
+
+    p_x: float
+    p_y: float
+    p_z: float
+
+    def __post_init__(self) -> None:
+        for rate in (self.p_x, self.p_y, self.p_z):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("Pauli probabilities must be in [0, 1]")
+        if self.p_x + self.p_y + self.p_z > 1.0:
+            raise ValueError("total Pauli error probability exceeds 1")
+
+    def apply_after_gate(self, state, qubits, duration_ns, rng) -> int:
+        injected = 0
+        for qubit in qubits:
+            draw = rng.random()
+            if draw < self.p_x:
+                state.apply_pauli("x", qubit)
+                injected += 1
+            elif draw < self.p_x + self.p_y:
+                state.apply_pauli("y", qubit)
+                injected += 1
+            elif draw < self.p_x + self.p_y + self.p_z:
+                state.apply_pauli("z", qubit)
+                injected += 1
+        return injected
+
+    @property
+    def bias(self) -> float:
+        """Z-bias ratio p_z / (p_x + p_y); infinity for pure dephasing."""
+        transverse = self.p_x + self.p_y
+        if transverse == 0.0:
+            return float("inf")
+        return self.p_z / transverse
+
+    def describe(self) -> str:
+        return f"asymmetric_pauli(px={self.p_x:g}, py={self.p_y:g}, pz={self.p_z:g})"
+
+
+@dataclass
+class CrosstalkError(ErrorModel):
+    """Crosstalk: two-qubit gates disturb spectator qubits adjacent to the pair.
+
+    Whenever a multi-qubit gate fires, each neighbouring (spectator) qubit of
+    the gate's operands suffers a Z error with probability
+    ``spectator_error_rate`` — the simplified always-on-coupling crosstalk of
+    frequency-crowded superconducting devices, one of the scheduling
+    constraints Section 2.6 alludes to ("the number of available frequencies
+    to control the qubits can also affect the scheduling").
+    """
+
+    spectator_error_rate: float
+    neighbours: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spectator_error_rate <= 1.0:
+            raise ValueError("spectator_error_rate outside [0, 1]")
+
+    @classmethod
+    def from_topology(cls, topology, spectator_error_rate: float) -> "CrosstalkError":
+        """Build the neighbour table from a :class:`~repro.mapping.topology.Topology`."""
+        neighbours = {
+            site: tuple(topology.neighbours(site)) for site in range(topology.num_qubits)
+        }
+        return cls(spectator_error_rate=spectator_error_rate, neighbours=neighbours)
+
+    def apply_after_gate(self, state, qubits, duration_ns, rng) -> int:
+        if len(qubits) < 2 or self.spectator_error_rate == 0.0:
+            return 0
+        spectators: set[int] = set()
+        for qubit in qubits:
+            spectators.update(self.neighbours.get(qubit, ()))
+        spectators -= set(qubits)
+        injected = 0
+        for spectator in spectators:
+            if spectator < state.num_qubits and rng.random() < self.spectator_error_rate:
+                state.apply_pauli("z", spectator)
+                injected += 1
+        return injected
+
+    def describe(self) -> str:
+        return f"crosstalk(p={self.spectator_error_rate:g})"
+
+
+class CompositeError(ErrorModel):
+    """Combine several error models; all of them are applied in order."""
+
+    def __init__(self, *models: ErrorModel):
+        self.models = [m for m in models if not isinstance(m, NoError)]
+
+    def apply_after_gate(self, state, qubits, duration_ns, rng) -> int:
+        return sum(m.apply_after_gate(state, qubits, duration_ns, rng) for m in self.models)
+
+    def flip_measurement(self, outcome, rng) -> int:
+        for model in self.models:
+            outcome = model.flip_measurement(outcome, rng)
+        return outcome
+
+    def describe(self) -> str:
+        return " + ".join(m.describe() for m in self.models) or "none"
+
+
+def error_model_for(qubit_model: QubitModel) -> ErrorModel:
+    """Build the QX error model matching a qubit quality description."""
+    if qubit_model.is_perfect or qubit_model == PERFECT:
+        return NoError()
+    models: list[ErrorModel] = []
+    if qubit_model.single_qubit_error_rate > 0 or qubit_model.two_qubit_error_rate > 0:
+        models.append(
+            DepolarizingError(
+                error_rate=qubit_model.single_qubit_error_rate,
+                two_qubit_error_rate=qubit_model.two_qubit_error_rate,
+            )
+        )
+    if not np.isinf(qubit_model.t1_ns) or not np.isinf(qubit_model.t2_ns):
+        models.append(DecoherenceError(t1_ns=qubit_model.t1_ns, t2_ns=qubit_model.t2_ns))
+    if qubit_model.measurement_error_rate > 0:
+        models.append(MeasurementError(qubit_model.measurement_error_rate))
+    if not models:
+        return NoError()
+    if len(models) == 1:
+        return models[0]
+    return CompositeError(*models)

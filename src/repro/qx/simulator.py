@@ -1,0 +1,224 @@
+"""The QX simulator front-end.
+
+Executes :class:`~repro.core.circuit.Circuit` objects (or parsed cQASM
+programs) against the state-vector engine, with or without error models,
+and aggregates multi-shot measurement statistics — the role QX plays in the
+paper's full stack: the micro-architecture sends it instructions, it
+executes them, measures, and returns results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.circuit import Circuit
+from repro.core.operations import (
+    Barrier,
+    ClassicalOperation,
+    ConditionalGate,
+    GateOperation,
+    Measurement,
+)
+from repro.core.qubits import PERFECT, QubitModel
+from repro.qx.error_models import ErrorModel, NoError, error_model_for
+from repro.qx.statevector import StateVector
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one or more shots of a circuit."""
+
+    num_qubits: int
+    shots: int
+    counts: dict[str, int] = field(default_factory=dict)
+    final_state: np.ndarray | None = None
+    classical_bits: list[list[int]] = field(default_factory=list)
+    errors_injected: int = 0
+
+    def probability(self, bitstring: str) -> float:
+        return self.counts.get(bitstring, 0) / max(self.shots, 1)
+
+    def most_frequent(self) -> str:
+        if not self.counts:
+            raise ValueError("no measurement results recorded")
+        return max(self.counts.items(), key=lambda item: item[1])[0]
+
+    def expectation_z(self, qubit: int) -> float:
+        """Average Z expectation of a qubit over the recorded shots."""
+        if not self.classical_bits:
+            raise ValueError("no per-shot classical bits recorded")
+        total = 0.0
+        for bits in self.classical_bits:
+            total += 1.0 - 2.0 * bits[qubit]
+        return total / len(self.classical_bits)
+
+    def success_probability(self, target: str) -> float:
+        """Fraction of shots that produced the target bit-string."""
+        return self.probability(target)
+
+
+class QXSimulator:
+    """Multi-shot circuit simulator with pluggable error models."""
+
+    def __init__(
+        self,
+        num_qubits: int | None = None,
+        error_model: ErrorModel | None = None,
+        qubit_model: QubitModel | None = None,
+        seed: int | None = None,
+    ):
+        if error_model is not None and qubit_model is not None:
+            raise ValueError("pass either error_model or qubit_model, not both")
+        if qubit_model is not None:
+            error_model = error_model_for(qubit_model)
+        self.error_model = error_model or NoError()
+        self.qubit_model = qubit_model or PERFECT
+        self.num_qubits = num_qubits
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        circuit: Circuit,
+        shots: int = 1,
+        keep_final_state: bool = False,
+        initial_state: np.ndarray | None = None,
+    ) -> SimulationResult:
+        """Execute ``circuit`` for ``shots`` repetitions.
+
+        When the error model is trivial and the circuit has no mid-circuit
+        measurement feedback, all shots share a single state-vector
+        evolution and the measurement histogram is sampled from the final
+        distribution, which is exponentially cheaper than re-running.
+        """
+        if shots < 1:
+            raise ValueError("shots must be >= 1")
+        num_qubits = self.num_qubits or circuit.num_qubits
+        if circuit.num_qubits > num_qubits:
+            raise ValueError("circuit does not fit the simulator register")
+
+        needs_trajectories = _has_mid_circuit_measurement(circuit) or any(
+            isinstance(op, ConditionalGate) for op in circuit.operations
+        )
+        deterministic = isinstance(self.error_model, NoError) and not needs_trajectories
+        if deterministic:
+            return self._run_sampled(circuit, num_qubits, shots, keep_final_state, initial_state)
+        return self._run_trajectories(circuit, num_qubits, shots, keep_final_state, initial_state)
+
+    # ------------------------------------------------------------------ #
+    def _run_sampled(self, circuit, num_qubits, shots, keep_final_state, initial_state):
+        state = StateVector(num_qubits, rng=self.rng)
+        if initial_state is not None:
+            state.set_state(initial_state)
+        for op in circuit.operations:
+            if isinstance(op, GateOperation):
+                state.apply_gate(op.gate.matrix, op.qubits)
+        measured = [op for op in circuit.operations if isinstance(op, Measurement)]
+        result = SimulationResult(num_qubits=num_qubits, shots=shots)
+        if measured:
+            qubits = tuple(op.qubit for op in measured)
+            result.counts = state.sample_counts(shots, qubits=qubits)
+            result.classical_bits = _counts_to_bits(result.counts, qubits, shots)
+        if keep_final_state or not measured:
+            result.final_state = state.amplitudes.copy()
+        return result
+
+    def _run_trajectories(self, circuit, num_qubits, shots, keep_final_state, initial_state):
+        result = SimulationResult(num_qubits=num_qubits, shots=shots)
+        for _ in range(shots):
+            state = StateVector(num_qubits, rng=self.rng)
+            if initial_state is not None:
+                state.set_state(initial_state)
+            bits = [0] * max(circuit.num_bits, num_qubits)
+            measured_any = False
+            for op in circuit.operations:
+                if isinstance(op, ConditionalGate):
+                    if bits[op.condition_bit]:
+                        state.apply_gate(op.gate.matrix, op.qubits)
+                        result.errors_injected += self.error_model.apply_after_gate(
+                            state, op.qubits, op.duration, self.rng
+                        )
+                elif isinstance(op, GateOperation):
+                    state.apply_gate(op.gate.matrix, op.qubits)
+                    result.errors_injected += self.error_model.apply_after_gate(
+                        state, op.qubits, op.duration, self.rng
+                    )
+                elif isinstance(op, Measurement):
+                    outcome = state.measure(op.qubit)
+                    outcome = self.error_model.flip_measurement(outcome, self.rng)
+                    bits[op.bit] = outcome
+                    measured_any = True
+                elif isinstance(op, (Barrier, ClassicalOperation)):
+                    continue
+            if measured_any:
+                measured_bits = [
+                    op.bit for op in circuit.operations if isinstance(op, Measurement)
+                ]
+                ordered = sorted(set(measured_bits))
+                key = "".join(str(bits[b]) for b in reversed(ordered))
+                result.counts[key] = result.counts.get(key, 0) + 1
+                result.classical_bits.append(list(bits))
+            if keep_final_state:
+                result.final_state = state.amplitudes.copy()
+        return result
+
+    # ------------------------------------------------------------------ #
+    def statevector(self, circuit: Circuit) -> np.ndarray:
+        """Final state vector of a measurement-free circuit (perfect qubits)."""
+        state = StateVector(circuit.num_qubits, rng=self.rng)
+        for op in circuit.operations:
+            if isinstance(op, Measurement):
+                raise ValueError("statevector() requires a measurement-free circuit")
+            if isinstance(op, GateOperation):
+                state.apply_gate(op.gate.matrix, op.qubits)
+        return state.amplitudes
+
+    def fidelity_with_ideal(self, circuit: Circuit, shots: int = 1) -> float:
+        """Average fidelity of noisy trajectories against the ideal final state.
+
+        Used by the error-model benchmarks (experiment E5) to quantify how a
+        given physical error rate degrades a circuit of a given depth.
+        """
+        ideal = QXSimulator(seed=0).statevector(_strip_measurements(circuit))
+        total = 0.0
+        stripped = _strip_measurements(circuit)
+        for _ in range(shots):
+            state = StateVector(stripped.num_qubits, rng=self.rng)
+            for op in stripped.operations:
+                if isinstance(op, GateOperation):
+                    state.apply_gate(op.gate.matrix, op.qubits)
+                    self.error_model.apply_after_gate(state, op.qubits, op.duration, self.rng)
+            total += float(abs(np.vdot(ideal, state.amplitudes)) ** 2)
+        return total / shots
+
+
+def _has_mid_circuit_measurement(circuit: Circuit) -> bool:
+    seen_measurement_qubits: set[int] = set()
+    for op in circuit.operations:
+        if isinstance(op, Measurement):
+            seen_measurement_qubits.add(op.qubit)
+        elif isinstance(op, GateOperation) and seen_measurement_qubits.intersection(op.qubits):
+            return True
+    return False
+
+
+def _strip_measurements(circuit: Circuit) -> Circuit:
+    stripped = Circuit(circuit.num_qubits, circuit.name, num_bits=circuit.num_bits)
+    for op in circuit.operations:
+        if not isinstance(op, Measurement):
+            stripped.append(op)
+    return stripped
+
+
+def _counts_to_bits(counts: dict[str, int], qubits: tuple[int, ...], shots: int) -> list[list[int]]:
+    """Expand a histogram into per-shot classical bit lists (qubit-indexed)."""
+    all_bits: list[list[int]] = []
+    size = max(qubits) + 1 if qubits else 0
+    for bitstring, count in counts.items():
+        bits = [0] * size
+        for position, qubit in enumerate(reversed(qubits)):
+            bits[qubit] = int(bitstring[len(bitstring) - 1 - position])
+        all_bits.extend([list(bits)] * count)
+    return all_bits[:shots]

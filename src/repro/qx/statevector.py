@@ -1,0 +1,202 @@
+"""Dense state-vector engine.
+
+The engine stores the full ``2**n`` amplitude vector (qubit 0 is the least
+significant bit of the basis index) and applies gates by reshaping the
+vector so the target axes can be contracted with the gate matrix — the same
+technique QX and most state-vector simulators use, which keeps the cost of a
+k-qubit gate at ``O(2**n * 2**k)`` instead of building the full operator.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class StateVector:
+    """Pure quantum state of ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, rng: np.random.Generator | None = None):
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        if num_qubits > 26:
+            raise ValueError("state vector limited to 26 qubits (memory)")
+        self.num_qubits = int(num_qubits)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.amplitudes = np.zeros(2 ** self.num_qubits, dtype=complex)
+        self.amplitudes[0] = 1.0
+
+    # ------------------------------------------------------------------ #
+    # State initialisation and inspection
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Return to the all-zeros computational basis state."""
+        self.amplitudes[:] = 0
+        self.amplitudes[0] = 1.0
+
+    def set_basis_state(self, basis_index: int) -> None:
+        if not 0 <= basis_index < self.amplitudes.size:
+            raise IndexError(f"basis index {basis_index} out of range")
+        self.amplitudes[:] = 0
+        self.amplitudes[basis_index] = 1.0
+
+    def set_state(self, amplitudes: np.ndarray) -> None:
+        amplitudes = np.asarray(amplitudes, dtype=complex)
+        if amplitudes.shape != self.amplitudes.shape:
+            raise ValueError("amplitude vector has the wrong dimension")
+        norm = np.linalg.norm(amplitudes)
+        if norm < 1e-12:
+            raise ValueError("cannot set a zero state")
+        self.amplitudes = amplitudes / norm
+
+    def copy(self) -> "StateVector":
+        clone = StateVector(self.num_qubits, rng=self.rng)
+        clone.amplitudes = self.amplitudes.copy()
+        return clone
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.amplitudes) ** 2
+
+    def probability_of(self, basis_index: int) -> float:
+        return float(abs(self.amplitudes[basis_index]) ** 2)
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.amplitudes))
+
+    def fidelity(self, other: "StateVector | np.ndarray") -> float:
+        """Squared overlap with another pure state."""
+        other_amp = other.amplitudes if isinstance(other, StateVector) else np.asarray(other)
+        return float(abs(np.vdot(self.amplitudes, other_amp)) ** 2)
+
+    def entropy(self) -> float:
+        """Shannon entropy (bits) of the measurement distribution."""
+        probs = self.probabilities()
+        probs = probs[probs > 1e-15]
+        return float(-np.sum(probs * np.log2(probs)))
+
+    # ------------------------------------------------------------------ #
+    # Gate application
+    # ------------------------------------------------------------------ #
+    def apply_gate(self, matrix: np.ndarray, qubits: tuple[int, ...]) -> None:
+        """Apply a ``2**k x 2**k`` unitary to the listed qubits."""
+        k = len(qubits)
+        if matrix.shape != (2 ** k, 2 ** k):
+            raise ValueError("gate matrix dimension does not match qubit count")
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise IndexError(f"qubit {q} out of range")
+        if len(set(qubits)) != k:
+            raise ValueError("duplicate qubits in gate operands")
+
+        n = self.num_qubits
+        # View the amplitude vector as an n-dimensional tensor with axis i
+        # corresponding to qubit (n-1-i) — i.e. numpy's most-significant-first
+        # ordering.  Qubit q therefore lives on axis (n-1-q).
+        tensor = self.amplitudes.reshape([2] * n)
+        axes = [n - 1 - q for q in qubits]
+        # Move target axes to the front (operand 0 first), contract with the
+        # gate matrix, and move them back.  The gate-matrix convention is
+        # that operand 0 is the most significant bit of the matrix index
+        # (textbook ordering, e.g. CNOT control is the first operand), which
+        # is exactly the ordering of the front axes after the move.
+        tensor = np.moveaxis(tensor, axes, range(k))
+        shape = tensor.shape
+        tensor = tensor.reshape(2 ** k, -1)
+        tensor = (matrix @ tensor).reshape(shape)
+        tensor = np.moveaxis(tensor, range(k), axes)
+        self.amplitudes = np.ascontiguousarray(tensor.reshape(-1))
+
+    def apply_pauli(self, pauli: str, qubit: int) -> None:
+        """Apply a single Pauli error/gate by name ('i', 'x', 'y' or 'z')."""
+        matrices = {
+            "i": np.eye(2, dtype=complex),
+            "x": np.array([[0, 1], [1, 0]], dtype=complex),
+            "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+            "z": np.array([[1, 0], [0, -1]], dtype=complex),
+        }
+        if pauli not in matrices:
+            raise ValueError(f"unknown Pauli {pauli!r}")
+        if pauli != "i":
+            self.apply_gate(matrices[pauli], (qubit,))
+
+    # ------------------------------------------------------------------ #
+    # Measurement
+    # ------------------------------------------------------------------ #
+    def measure(self, qubit: int, collapse: bool = True) -> int:
+        """Measure one qubit in the computational basis.
+
+        Returns 0 or 1, and (by default) collapses the state accordingly.
+        """
+        prob_one = self.probability_of_one(qubit)
+        outcome = 1 if self.rng.random() < prob_one else 0
+        if collapse:
+            self.collapse(qubit, outcome)
+        return outcome
+
+    def probability_of_one(self, qubit: int) -> float:
+        if not 0 <= qubit < self.num_qubits:
+            raise IndexError(f"qubit {qubit} out of range")
+        indices = np.arange(self.amplitudes.size)
+        mask = (indices >> qubit) & 1 == 1
+        return float(np.sum(np.abs(self.amplitudes[mask]) ** 2))
+
+    def collapse(self, qubit: int, outcome: int) -> None:
+        """Project onto ``|outcome>`` of ``qubit`` and renormalise."""
+        indices = np.arange(self.amplitudes.size)
+        keep = ((indices >> qubit) & 1) == outcome
+        projected = np.where(keep, self.amplitudes, 0.0)
+        norm = np.linalg.norm(projected)
+        if norm < 1e-12:
+            raise ValueError(
+                f"cannot collapse qubit {qubit} to {outcome}: zero probability"
+            )
+        self.amplitudes = projected / norm
+
+    def measure_all(self) -> list[int]:
+        """Measure every qubit; returns a list of bits indexed by qubit."""
+        return [self.measure(q) for q in range(self.num_qubits)]
+
+    def sample_counts(self, shots: int, qubits: tuple[int, ...] | None = None) -> dict[str, int]:
+        """Sample measurement outcomes without collapsing the live state.
+
+        Returns a histogram keyed by bit-string with qubit 0 as the rightmost
+        character (cQASM display convention).
+        """
+        probs = self.probabilities()
+        outcomes = self.rng.choice(len(probs), size=shots, p=probs / probs.sum())
+        targets = qubits if qubits is not None else tuple(range(self.num_qubits))
+        counts: dict[str, int] = {}
+        for value in outcomes:
+            bits = "".join(str((int(value) >> q) & 1) for q in reversed(targets))
+            counts[bits] = counts.get(bits, 0) + 1
+        return counts
+
+    def expectation_z(self, qubit: int) -> float:
+        """Expectation value of Pauli-Z on a qubit."""
+        return 1.0 - 2.0 * self.probability_of_one(qubit)
+
+    def expectation_zz(self, qubit_a: int, qubit_b: int) -> float:
+        """Expectation value of Z_a Z_b, used by QAOA/Ising energy evaluation."""
+        indices = np.arange(self.amplitudes.size)
+        parity = ((indices >> qubit_a) & 1) ^ ((indices >> qubit_b) & 1)
+        signs = 1.0 - 2.0 * parity
+        return float(np.sum(signs * np.abs(self.amplitudes) ** 2))
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    state = np.zeros(2 ** num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def ghz_state(num_qubits: int) -> np.ndarray:
+    state = np.zeros(2 ** num_qubits, dtype=complex)
+    state[0] = 1.0 / math.sqrt(2.0)
+    state[-1] = 1.0 / math.sqrt(2.0)
+    return state
+
+
+def uniform_superposition(num_qubits: int) -> np.ndarray:
+    dim = 2 ** num_qubits
+    return np.full(dim, 1.0 / math.sqrt(dim), dtype=complex)

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit, bell_pair_circuit, ghz_circuit, qft_circuit, random_circuit
+from repro.openql.platform import (
+    perfect_platform,
+    realistic_platform,
+    spin_qubit_platform,
+    superconducting_platform,
+)
+from repro.qx.simulator import QXSimulator
+
+
+@pytest.fixture
+def bell_circuit() -> Circuit:
+    circuit = bell_pair_circuit()
+    circuit.measure_all()
+    return circuit
+
+
+@pytest.fixture
+def ghz5_circuit() -> Circuit:
+    circuit = ghz_circuit(5)
+    circuit.measure_all()
+    return circuit
+
+
+@pytest.fixture
+def qft4_circuit() -> Circuit:
+    return qft_circuit(4)
+
+
+@pytest.fixture
+def random_6q_circuit() -> Circuit:
+    return random_circuit(6, 12, seed=42)
+
+
+@pytest.fixture
+def perfect_4q_platform():
+    return perfect_platform(4)
+
+
+@pytest.fixture
+def transmon_platform():
+    return superconducting_platform()
+
+
+@pytest.fixture
+def spin_platform():
+    return spin_qubit_platform()
+
+
+@pytest.fixture
+def realistic_9q_platform():
+    return realistic_platform(9, error_rate=1e-3)
+
+
+@pytest.fixture
+def ideal_simulator() -> QXSimulator:
+    return QXSimulator(seed=1234)
+
+
+def assert_equivalent_up_to_phase(matrix_a: np.ndarray, matrix_b: np.ndarray, atol: float = 1e-8):
+    """Assert two unitaries are equal up to a global phase."""
+    index = np.unravel_index(np.argmax(np.abs(matrix_b)), matrix_b.shape)
+    assert abs(matrix_b[index]) > atol, "reference matrix is numerically zero"
+    phase = matrix_a[index] / matrix_b[index]
+    assert abs(abs(phase) - 1.0) < 1e-6, "matrices differ by more than a phase"
+    np.testing.assert_allclose(matrix_a, phase * matrix_b, atol=atol)

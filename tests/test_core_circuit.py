@@ -1,0 +1,167 @@
+"""Unit tests for the circuit IR."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import (
+    Circuit,
+    bell_pair_circuit,
+    ghz_circuit,
+    qft_circuit,
+    random_circuit,
+)
+from repro.core.operations import Barrier, GateOperation, Measurement
+
+
+def test_circuit_requires_positive_qubits():
+    with pytest.raises(ValueError):
+        Circuit(0)
+
+
+def test_add_gate_checks_qubit_range():
+    circuit = Circuit(2)
+    with pytest.raises(IndexError):
+        circuit.x(5)
+
+
+def test_gate_count_and_depth():
+    circuit = Circuit(2)
+    circuit.h(0).cnot(0, 1).x(1)
+    assert circuit.gate_count() == 3
+    assert circuit.gate_count("h") == 1
+    assert circuit.two_qubit_gate_count() == 1
+    assert circuit.depth() == 3
+
+
+def test_depth_counts_parallel_gates_once():
+    circuit = Circuit(4)
+    for qubit in range(4):
+        circuit.h(qubit)
+    assert circuit.depth() == 1
+
+
+def test_measure_all_appends_one_measurement_per_qubit():
+    circuit = Circuit(3)
+    circuit.measure_all()
+    assert len(circuit.measurements()) == 3
+    assert [m.qubit for m in circuit.measurements()] == [0, 1, 2]
+
+
+def test_barrier_defaults_to_all_qubits():
+    circuit = Circuit(3)
+    circuit.barrier()
+    barrier = circuit.operations[0]
+    assert isinstance(barrier, Barrier)
+    assert barrier.qubits == (0, 1, 2)
+
+
+def test_compose_appends_operations():
+    first = Circuit(2)
+    first.h(0)
+    second = Circuit(2)
+    second.cnot(0, 1)
+    combined = first.compose(second)
+    assert combined.gate_count() == 2
+    assert first.gate_count() == 1  # original untouched
+
+
+def test_compose_rejects_larger_circuit():
+    small = Circuit(2)
+    big = Circuit(3)
+    with pytest.raises(ValueError):
+        small.compose(big)
+
+
+def test_inverse_undoes_circuit():
+    circuit = Circuit(2)
+    circuit.h(0).t(0).cnot(0, 1).s(1)
+    identity = circuit.compose(circuit.inverse()).to_unitary()
+    np.testing.assert_allclose(identity, np.eye(4), atol=1e-9)
+
+
+def test_inverse_rejects_measurements():
+    circuit = Circuit(1)
+    circuit.h(0).measure(0)
+    with pytest.raises(ValueError):
+        circuit.inverse()
+
+
+def test_remap_translates_qubits():
+    circuit = Circuit(2)
+    circuit.h(0).cnot(0, 1).measure(1)
+    remapped = circuit.remap({0: 2, 1: 0}, num_qubits=3)
+    ops = remapped.operations
+    assert ops[0].qubits == (2,)
+    assert ops[1].qubits == (2, 0)
+    assert ops[2].qubits == (0,)
+
+
+def test_to_unitary_rejects_measurement():
+    circuit = Circuit(1)
+    circuit.measure(0)
+    with pytest.raises(ValueError):
+        circuit.to_unitary()
+
+
+def test_to_unitary_bell_state_column():
+    unitary = bell_pair_circuit().to_unitary()
+    column = unitary[:, 0]
+    expected = np.zeros(4, dtype=complex)
+    expected[0] = expected[3] = 1 / math.sqrt(2)
+    np.testing.assert_allclose(column, expected, atol=1e-12)
+
+
+def test_ghz_circuit_structure():
+    circuit = ghz_circuit(6)
+    assert circuit.gate_count("h") == 1
+    assert circuit.gate_count("cnot") == 5
+    assert circuit.num_qubits == 6
+
+
+def test_qft_matches_dft_matrix():
+    for n in (2, 3):
+        unitary = qft_circuit(n).to_unitary()
+        dim = 2 ** n
+        dft = np.array(
+            [
+                [np.exp(2j * np.pi * i * j / dim) / math.sqrt(dim) for j in range(dim)]
+                for i in range(dim)
+            ]
+        )
+        np.testing.assert_allclose(unitary, dft, atol=1e-9)
+
+
+def test_random_circuit_is_reproducible():
+    a = random_circuit(5, 10, seed=7)
+    b = random_circuit(5, 10, seed=7)
+    assert [op.name for op in a.gate_operations()] == [op.name for op in b.gate_operations()]
+    assert [op.qubits for op in a.gate_operations()] == [op.qubits for op in b.gate_operations()]
+
+
+def test_random_circuit_respects_qubit_count():
+    circuit = random_circuit(4, 20, seed=3)
+    assert circuit.qubits_used() <= set(range(4))
+
+
+def test_copy_is_independent():
+    circuit = Circuit(2)
+    circuit.h(0)
+    clone = circuit.copy()
+    clone.x(1)
+    assert circuit.gate_count() == 1
+    assert clone.gate_count() == 2
+
+
+def test_duplicate_operands_rejected():
+    circuit = Circuit(2)
+    with pytest.raises(ValueError):
+        circuit.cnot(1, 1)
+
+
+def test_classical_operation_appended():
+    circuit = Circuit(1)
+    circuit.classical("add", (1, 2))
+    assert circuit.operations[0].name == "add"
+    assert circuit.gate_count() == 0

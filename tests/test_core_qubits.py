@@ -1,0 +1,95 @@
+"""Unit tests for the real / realistic / perfect qubit models."""
+
+import math
+
+import pytest
+
+from repro.core.qubits import PERFECT, REAL_SPIN, REAL_TRANSMON, REALISTIC, QubitModel
+
+
+def test_perfect_qubits_have_no_errors():
+    assert PERFECT.is_perfect
+    assert PERFECT.single_qubit_error_rate == 0.0
+    assert PERFECT.decay_probability(1e9) == 0.0
+    assert PERFECT.dephasing_probability(1e9) == 0.0
+
+
+def test_realistic_qubits_enforce_nearest_neighbour():
+    assert REALISTIC.nearest_neighbour_only
+    assert not PERFECT.nearest_neighbour_only
+
+
+def test_real_models_have_finite_coherence():
+    for model in (REAL_TRANSMON, REAL_SPIN):
+        assert model.t1_ns < float("inf")
+        assert model.kind == "real"
+
+
+def test_invalid_kind_rejected():
+    with pytest.raises(ValueError):
+        QubitModel(
+            kind="imaginary",
+            t1_ns=1.0,
+            t2_ns=1.0,
+            single_qubit_error_rate=0.0,
+            two_qubit_error_rate=0.0,
+            measurement_error_rate=0.0,
+        )
+
+
+def test_invalid_error_rate_rejected():
+    with pytest.raises(ValueError):
+        QubitModel(
+            kind="realistic",
+            t1_ns=1.0,
+            t2_ns=1.0,
+            single_qubit_error_rate=1.5,
+            two_qubit_error_rate=0.0,
+            measurement_error_rate=0.0,
+        )
+
+
+def test_nonpositive_coherence_rejected():
+    with pytest.raises(ValueError):
+        QubitModel(
+            kind="realistic",
+            t1_ns=0.0,
+            t2_ns=1.0,
+            single_qubit_error_rate=0.0,
+            two_qubit_error_rate=0.0,
+            measurement_error_rate=0.0,
+        )
+
+
+def test_decay_probability_follows_exponential():
+    model = REAL_TRANSMON
+    duration = 10_000.0
+    expected = 1.0 - math.exp(-duration / model.t1_ns)
+    assert abs(model.decay_probability(duration) - expected) < 1e-12
+    # Longer duration, higher decay probability.
+    assert model.decay_probability(20_000.0) > model.decay_probability(10_000.0)
+
+
+def test_dephasing_probability_nonnegative():
+    assert REAL_TRANSMON.dephasing_probability(5_000.0) >= 0.0
+    assert REAL_SPIN.dephasing_probability(5_000.0) >= 0.0
+
+
+def test_with_error_rate_scales_all_channels():
+    scaled = REALISTIC.with_error_rate(1e-5)
+    assert scaled.single_qubit_error_rate == pytest.approx(1e-5)
+    ratio_before = REALISTIC.two_qubit_error_rate / REALISTIC.single_qubit_error_rate
+    ratio_after = scaled.two_qubit_error_rate / scaled.single_qubit_error_rate
+    assert ratio_after == pytest.approx(ratio_before)
+
+
+def test_with_error_rate_zero_becomes_perfect_kind():
+    scaled = REALISTIC.with_error_rate(0.0)
+    assert scaled.kind == "perfect"
+    assert scaled.two_qubit_error_rate == 0.0
+
+
+def test_with_error_rate_caps_at_one():
+    scaled = REALISTIC.with_error_rate(0.5)
+    assert scaled.two_qubit_error_rate <= 1.0
+    assert scaled.measurement_error_rate <= 1.0

@@ -1,0 +1,133 @@
+"""Integration tests: the full stack from application logic down to results.
+
+These tests follow Figure 3 of the paper end to end: OpenQL program ->
+compiler passes -> cQASM -> (eQASM + micro-architecture) -> QX execution ->
+measurement results back to the host, on both the perfect-qubit and the
+real-hardware-like platforms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.cqasm.parser import cqasm_to_circuit
+from repro.eqasm.assembler import EqasmAssembler
+from repro.eqasm.timing import TimingAnalyzer
+from repro.microarch.executor import QuantumAccelerator
+from repro.openql.compiler import Compiler
+from repro.openql.platform import perfect_platform, realistic_platform, superconducting_platform
+from repro.openql.program import Program
+from repro.qx.simulator import QXSimulator
+
+
+def test_perfect_qubit_stack_bell_pipeline():
+    """Application -> OpenQL -> cQASM -> QX (perfect qubits, Figure 2b)."""
+    platform = perfect_platform(2)
+    program = Program("bell_app", platform)
+    kernel = program.new_kernel("bell")
+    kernel.h(0).cnot(0, 1).measure_all()
+
+    compiled = Compiler().compile(program)
+    assert ".bell" in compiled.cqasm
+
+    circuit = cqasm_to_circuit(compiled.cqasm)
+    result = QXSimulator(seed=99).run(circuit, shots=400)
+    assert set(result.counts) <= {"00", "11"}
+    assert abs(result.probability("00") - 0.5) < 0.15
+
+
+def test_experimental_stack_grover_on_transmon():
+    """Application -> OpenQL -> cQASM -> eQASM -> micro-architecture -> QX (Figure 2a)."""
+    platform = superconducting_platform()
+    program = Program("grover_app", platform, num_qubits=2)
+    kernel = program.new_kernel("grover")
+    kernel.extend(grover_circuit(2, marked_state=2))
+    kernel.measure_all()
+
+    compiled = Compiler().compile(program)
+    flat = compiled.flat_circuit()
+    for op in flat.gate_operations():
+        assert platform.supports(op.name)
+
+    eqasm = EqasmAssembler(platform).assemble(flat)
+    report = TimingAnalyzer().analyze(eqasm)
+    assert report.total_duration_ns > 0
+
+    accelerator = QuantumAccelerator(platform, seed=17)
+    trace = accelerator.execute_eqasm(eqasm, functional_circuit=flat, shots=300)
+    assert trace.result is not None
+    # Realistic noise, but the marked state must dominate clearly.
+    assert trace.result.most_frequent() == "10"
+
+
+def test_retargeting_between_technologies_changes_only_timing():
+    """The same program compiled for transmon and spin platforms (Section 3.1)."""
+    from repro.openql.platform import spin_qubit_platform
+
+    results = {}
+    for platform in (superconducting_platform(), spin_qubit_platform()):
+        program = Program("bell_retarget", platform, num_qubits=2)
+        kernel = program.new_kernel("main")
+        kernel.h(0).cnot(0, 1).measure_all()
+        compiled = Compiler().compile(program)
+        accelerator = QuantumAccelerator(platform, seed=23)
+        trace = accelerator.execute_circuit(compiled.flat_circuit(), shots=150)
+        dominant = trace.result.counts.get("00", 0) + trace.result.counts.get("11", 0)
+        results[platform.name] = (trace.total_duration_ns, dominant)
+
+    transmon_ns, transmon_ok = results["surface7_transmon"]
+    spin_ns, spin_ok = results["spin_qubit_2x2"]
+    assert spin_ns > transmon_ns  # slower technology, same logic
+    assert transmon_ok > 100 and spin_ok > 100  # both functionally correct
+
+
+def test_realistic_platform_routing_plus_noise_pipeline():
+    """A 6-qubit GHZ on a 3x3 realistic grid: mapping inserts SWAPs, QX adds noise."""
+    platform = realistic_platform(9, error_rate=1e-3)
+    program = Program("ghz_app", platform, num_qubits=6)
+    kernel = program.new_kernel("ghz")
+    kernel.h(0)
+    for qubit in range(1, 6):
+        kernel.cnot(0, qubit)
+    kernel.measure_all()
+
+    compiled = Compiler().compile(program)
+    flat = compiled.flat_circuit()
+    for op in flat.gate_operations():
+        if len(op.qubits) == 2:
+            assert platform.topology.are_adjacent(*op.qubits)
+
+    simulator = QXSimulator(qubit_model=platform.qubit_model, seed=31)
+    result = simulator.run(flat, shots=100)
+    # All physical qubits are measured; the two GHZ branches must dominate.
+    top_two = sorted(result.counts.values(), reverse=True)[:2]
+    assert sum(top_two) > 60
+
+
+def test_perfect_vs_realistic_fidelity_gap():
+    """Perfect qubits give the ideal result; realistic qubits visibly degrade it."""
+    platform = perfect_platform(4)
+    program = Program("ghz4", platform)
+    kernel = program.new_kernel("main")
+    kernel.h(0).cnot(0, 1).cnot(1, 2).cnot(2, 3).measure_all()
+    flat = Compiler().compile(program).flat_circuit()
+
+    ideal = QXSimulator(seed=7).run(flat, shots=400)
+    noisy = QXSimulator(qubit_model=realistic_platform(4, error_rate=0.02).qubit_model, seed=7).run(
+        flat, shots=400
+    )
+    ideal_good = ideal.probability("0000") + ideal.probability("1111")
+    noisy_good = noisy.probability("0000") + noisy.probability("1111")
+    assert ideal_good == pytest.approx(1.0)
+    assert noisy_good < ideal_good
+
+
+def test_compiler_statistics_cover_all_layers():
+    platform = superconducting_platform()
+    program = Program("stats", platform, num_qubits=3)
+    kernel = program.new_kernel("main")
+    kernel.h(0).cnot(0, 1).toffoli(0, 1, 2).measure_all()
+    compiled = Compiler().compile(program)
+    assert compiled.statistics_for("decomposition")["gates_decomposed"] >= 3
+    assert "makespan_ns" in compiled.statistics_for("scheduling")
+    assert compiled.total_makespan_ns() > 0

@@ -1,0 +1,115 @@
+"""Integration tests for the compiler pass manager."""
+
+import numpy as np
+import pytest
+
+from repro.cqasm.parser import cqasm_to_circuit
+from repro.openql.compiler import Compiler
+from repro.openql.passes.optimization import OptimizationPass
+from repro.openql.platform import perfect_platform, realistic_platform, superconducting_platform
+from repro.openql.program import Program
+from repro.qx.simulator import QXSimulator
+
+
+def _bell_program(platform, name="bell"):
+    program = Program(name, platform, num_qubits=2)
+    kernel = program.new_kernel("main")
+    kernel.h(0).cnot(0, 1).measure_all()
+    return program
+
+
+def test_compile_produces_cqasm_and_kernels(perfect_4q_platform):
+    result = Compiler().compile(_bell_program(perfect_4q_platform))
+    assert "qubits 4" in result.cqasm
+    assert len(result.kernels) == 1
+    assert result.compile_time_s > 0
+    assert result.total_gate_count() >= 2
+
+
+def test_compiled_cqasm_executes_correctly(perfect_4q_platform):
+    result = Compiler().compile(_bell_program(perfect_4q_platform))
+    circuit = cqasm_to_circuit(result.cqasm)
+    counts = QXSimulator(seed=11).run(circuit, shots=300).counts
+    assert set(counts) <= {"00", "11"}
+    assert 0.35 < counts.get("00", 0) / 300 < 0.65
+
+
+def test_compile_for_transmon_emits_native_gates_only(transmon_platform):
+    result = Compiler().compile(_bell_program(transmon_platform))
+    for circuit in result.kernels:
+        for op in circuit.gate_operations():
+            assert transmon_platform.supports(op.name)
+
+
+def test_compiled_transmon_circuit_still_produces_bell_statistics(transmon_platform):
+    result = Compiler().compile(_bell_program(transmon_platform))
+    counts = QXSimulator(seed=3).run(result.flat_circuit(), shots=300).counts
+    assert set(counts) <= {"00", "11"}
+
+
+def test_compiler_records_pass_statistics(transmon_platform):
+    result = Compiler().compile(_bell_program(transmon_platform))
+    passes_seen = {record["pass"] for record in result.pass_statistics}
+    assert {"decomposition", "optimization", "mapping", "scheduling"} <= passes_seen
+    assert result.statistics_for("decomposition")["gates_decomposed"] >= 2
+
+
+def test_compiler_schedules_every_kernel(perfect_4q_platform):
+    program = Program("two_kernels", perfect_4q_platform, num_qubits=2)
+    first = program.new_kernel("first")
+    first.h(0)
+    second = program.new_kernel("second")
+    second.cnot(0, 1)
+    result = Compiler().compile(program)
+    assert len(result.schedules) == 2
+    assert result.total_makespan_ns() > 0
+
+
+def test_kernel_iterations_respected_in_flat_circuit(perfect_4q_platform):
+    from repro.openql.kernel import Kernel
+
+    program = Program("loop", perfect_4q_platform, num_qubits=1)
+    body = Kernel("body", perfect_4q_platform, num_qubits=1)
+    body.x(0)
+    program.add_for(body, 5)
+    result = Compiler().compile(program)
+    assert result.flat_circuit().gate_count("x") == 5
+    assert result.total_gate_count() == 5
+
+
+def test_optimizing_compiler_reduces_gate_count(perfect_4q_platform):
+    program = Program("redundant", perfect_4q_platform, num_qubits=2)
+    kernel = program.new_kernel("main")
+    kernel.h(0).h(0).x(1).x(1).cnot(0, 1)
+    optimised = Compiler(optimize=True).compile(program)
+    assert optimised.total_gate_count() == 1  # only the CNOT survives
+
+
+def test_custom_pass_list():
+    platform = perfect_platform(2)
+    compiler = Compiler(passes=[OptimizationPass()])
+    program = Program("custom", platform, num_qubits=2)
+    kernel = program.new_kernel("main")
+    kernel.x(0).x(0)
+    result = compiler.compile(program)
+    assert result.total_gate_count() == 0
+
+
+def test_compile_circuit_convenience(transmon_platform):
+    from repro.core.circuit import bell_pair_circuit
+
+    compiled = Compiler().compile_circuit(bell_pair_circuit(), transmon_platform)
+    for op in compiled.gate_operations():
+        assert transmon_platform.supports(op.name)
+
+
+def test_compilation_on_realistic_platform_respects_topology():
+    platform = realistic_platform(9, error_rate=1e-3)
+    program = Program("routed", platform, num_qubits=6)
+    kernel = program.new_kernel("main")
+    for i in range(5):
+        kernel.cnot(0, 5 - i)
+    result = Compiler().compile(program)
+    for op in result.flat_circuit().gate_operations():
+        if len(op.qubits) == 2:
+            assert platform.topology.are_adjacent(*op.qubits)

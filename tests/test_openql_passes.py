@@ -1,0 +1,205 @@
+"""Unit tests for the compiler passes (decomposition, optimisation, mapping, scheduling)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import assert_equivalent_up_to_phase
+from repro.core.circuit import Circuit, qft_circuit, random_circuit
+from repro.openql.passes.decomposition import DecompositionPass
+from repro.openql.passes.mapping_pass import MappingPass
+from repro.openql.passes.optimization import OptimizationPass
+from repro.openql.passes.scheduling_pass import SchedulingPass
+from repro.openql.platform import (
+    perfect_platform,
+    realistic_platform,
+    spin_qubit_platform,
+    superconducting_platform,
+)
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda c: c.h(0),
+            lambda c: c.x(0),
+            lambda c: c.y(0),
+            lambda c: c.z(0),
+            lambda c: c.s(0),
+            lambda c: c.t(0),
+            lambda c: c.tdag(0),
+            lambda c: c.rx(0, 0.7),
+            lambda c: c.ry(0, 1.1),
+            lambda c: c.cnot(0, 1),
+            lambda c: c.swap(0, 1),
+            lambda c: c.cr(0, 1, 0.9),
+            lambda c: c.crk(0, 1, 3),
+        ],
+    )
+    def test_decomposition_preserves_unitary_on_transmon_platform(self, builder):
+        platform = superconducting_platform()
+        circuit = Circuit(2)
+        builder(circuit)
+        decomposed = DecompositionPass().run(circuit, platform)
+        for op in decomposed.gate_operations():
+            assert platform.supports(op.name), f"{op.name} not native"
+        assert_equivalent_up_to_phase(decomposed.to_unitary(), circuit.to_unitary())
+
+    def test_toffoli_decomposition_on_cnot_platform(self):
+        platform = perfect_platform(3)
+        platform = type(platform)(
+            name="clifford_t",
+            num_qubits=3,
+            primitive_gates=("h", "t", "tdag", "cnot", "measure", "x", "s"),
+        )
+        circuit = Circuit(3)
+        circuit.toffoli(0, 1, 2)
+        decomposed = DecompositionPass().run(circuit, platform)
+        assert decomposed.gate_count("toffoli") == 0
+        assert_equivalent_up_to_phase(decomposed.to_unitary(), circuit.to_unitary())
+
+    def test_native_gates_left_untouched(self):
+        platform = superconducting_platform()
+        circuit = Circuit(2)
+        circuit.cz(0, 1)
+        decomposed = DecompositionPass().run(circuit, platform)
+        assert decomposed.gate_count() == 1
+        assert DecompositionPass().statistics() == {"gates_decomposed": 0}
+
+    def test_statistics_counts_expansions(self):
+        platform = superconducting_platform()
+        circuit = Circuit(2)
+        circuit.h(0).cnot(0, 1)
+        decomposition = DecompositionPass()
+        decomposition.run(circuit, platform)
+        assert decomposition.statistics()["gates_decomposed"] == 2
+
+    def test_measurements_pass_through(self):
+        platform = superconducting_platform()
+        circuit = Circuit(1)
+        circuit.h(0).measure(0)
+        decomposed = DecompositionPass().run(circuit, platform)
+        assert len(decomposed.measurements()) == 1
+
+
+class TestOptimization:
+    def test_adjacent_self_inverse_pairs_cancel(self):
+        platform = perfect_platform(2)
+        circuit = Circuit(2)
+        circuit.h(0).h(0).x(1).x(1).cnot(0, 1).cnot(0, 1)
+        optimised = OptimizationPass().run(circuit, platform)
+        assert optimised.gate_count() == 0
+
+    def test_s_sdag_and_t_tdag_cancel(self):
+        platform = perfect_platform(1)
+        circuit = Circuit(1)
+        circuit.s(0).sdag(0).t(0).tdag(0)
+        optimised = OptimizationPass().run(circuit, platform)
+        assert optimised.gate_count() == 0
+
+    def test_rotation_fusion(self):
+        platform = perfect_platform(1)
+        circuit = Circuit(1)
+        circuit.rz(0, 0.4).rz(0, 0.6)
+        optimised = OptimizationPass().run(circuit, platform)
+        assert optimised.gate_count() == 1
+        assert optimised.gate_operations()[0].params[0] == pytest.approx(1.0)
+
+    def test_full_turn_rotation_removed(self):
+        platform = perfect_platform(1)
+        circuit = Circuit(1)
+        circuit.rx(0, math.pi).rx(0, math.pi)
+        optimised = OptimizationPass().run(circuit, platform)
+        assert optimised.gate_count() == 0
+
+    def test_identity_gates_removed(self):
+        platform = perfect_platform(1)
+        circuit = Circuit(1)
+        circuit.i(0).rz(0, 0.0).x(0)
+        optimised = OptimizationPass().run(circuit, platform)
+        assert optimised.gate_count() == 1
+
+    def test_intervening_gate_blocks_cancellation(self):
+        platform = perfect_platform(2)
+        circuit = Circuit(2)
+        circuit.h(0).cnot(0, 1).h(0)
+        optimised = OptimizationPass().run(circuit, platform)
+        assert optimised.gate_count() == 3
+
+    def test_optimisation_preserves_semantics(self):
+        platform = perfect_platform(3)
+        circuit = random_circuit(3, 15, seed=21)
+        # Inject removable redundancy.
+        circuit.h(0).h(0).t(1).tdag(1)
+        optimised = OptimizationPass().run(circuit, platform)
+        assert optimised.gate_count() <= circuit.gate_count()
+        assert_equivalent_up_to_phase(optimised.to_unitary(), circuit.to_unitary())
+
+    def test_statistics_report_removed_gates(self):
+        platform = perfect_platform(1)
+        circuit = Circuit(1)
+        circuit.x(0).x(0)
+        optimisation = OptimizationPass()
+        optimisation.run(circuit, platform)
+        assert optimisation.statistics()["gates_removed"] == 2
+
+    def test_measurement_blocks_merging(self):
+        platform = perfect_platform(1)
+        circuit = Circuit(1)
+        circuit.x(0).measure(0)
+        circuit.x(0)
+        optimised = OptimizationPass().run(circuit, platform)
+        assert optimised.gate_count() == 2
+
+
+class TestMappingAndSchedulingPasses:
+    def test_mapping_skipped_for_perfect_platform(self):
+        platform = perfect_platform(5)
+        circuit = qft_circuit(5)
+        mapping = MappingPass()
+        mapped = mapping.run(circuit, platform)
+        assert mapped is circuit
+        assert mapping.statistics()["swaps_inserted"] == 0
+
+    def test_mapping_applied_for_realistic_platform(self):
+        platform = realistic_platform(9, error_rate=1e-3)
+        circuit = qft_circuit(6)
+        mapping = MappingPass()
+        mapped = mapping.run(circuit, platform)
+        stats = mapping.statistics()
+        assert stats["swaps_inserted"] >= 0
+        for op in mapped.gate_operations():
+            if len(op.qubits) == 2:
+                assert platform.topology.are_adjacent(*op.qubits)
+
+    def test_mapping_force_flag(self):
+        platform = perfect_platform(4)
+        circuit = qft_circuit(4)
+        mapped = MappingPass(force=True).run(circuit, platform)
+        assert mapped is not circuit
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            MappingPass(strategy="magic")
+
+    def test_scheduling_pass_attaches_schedule(self):
+        platform = superconducting_platform()
+        circuit = Circuit(2)
+        circuit.add_gate("y90", 0)
+        circuit.cz(0, 1)
+        circuit.measure(0)
+        scheduling = SchedulingPass()
+        scheduled = scheduling.run(circuit, platform)
+        stats = scheduling.statistics()
+        assert stats["makespan_ns"] == 20 + 40 + 600
+        assert scheduled.gate_count() == circuit.gate_count()
+
+    def test_scheduling_uses_platform_durations(self):
+        platform = spin_qubit_platform()
+        circuit = Circuit(2)
+        circuit.cz(0, 1)
+        scheduling = SchedulingPass()
+        scheduling.run(circuit, platform)
+        assert scheduling.statistics()["makespan_ns"] == platform.duration_of("cz")

@@ -1,0 +1,129 @@
+"""Unit tests for platforms, kernels and programs."""
+
+import json
+
+import pytest
+
+from repro.openql.kernel import Kernel
+from repro.openql.platform import (
+    Platform,
+    perfect_platform,
+    realistic_platform,
+    spin_qubit_platform,
+    superconducting_platform,
+    surface17_platform,
+)
+from repro.openql.program import Program
+
+
+class TestPlatform:
+    def test_perfect_platform_fully_connected_no_routing(self):
+        platform = perfect_platform(5)
+        assert platform.num_qubits == 5
+        assert not platform.requires_routing
+        assert platform.topology.diameter() == 1
+
+    def test_realistic_platform_requires_routing(self):
+        platform = realistic_platform(9, error_rate=1e-3)
+        assert platform.requires_routing
+        assert platform.qubit_model.single_qubit_error_rate == pytest.approx(1e-3)
+
+    def test_superconducting_platform_native_gates(self):
+        platform = superconducting_platform()
+        assert platform.supports("cz")
+        assert not platform.supports("cnot")
+        assert not platform.supports("h")
+        assert platform.duration_of("measure") == 600
+
+    def test_spin_platform_slower_than_transmon(self):
+        spin = spin_qubit_platform()
+        transmon = superconducting_platform()
+        assert spin.duration_of("cz") > transmon.duration_of("cz")
+        assert spin.cycle_time_ns > transmon.cycle_time_ns
+
+    def test_surface17_platform_has_17_qubits(self):
+        platform = surface17_platform()
+        assert platform.num_qubits == 17
+        assert platform.topology.is_connected()
+
+    def test_platform_validation(self):
+        with pytest.raises(ValueError):
+            Platform(name="bad", num_qubits=0)
+        from repro.mapping.topology import linear_topology
+
+        with pytest.raises(ValueError):
+            Platform(name="bad", num_qubits=5, topology=linear_topology(3))
+
+    def test_describe_and_json_round_trip(self, tmp_path):
+        platform = superconducting_platform()
+        path = tmp_path / "platform.json"
+        platform.to_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["name"] == platform.name
+        assert loaded["num_qubits"] == 7
+        assert loaded["nearest_neighbour_only"] is True
+
+    def test_default_two_qubit_durations_derived_from_qubit_model(self):
+        platform = perfect_platform(2)
+        assert platform.duration_of("swap") == 3 * platform.qubit_model.two_qubit_gate_ns
+
+
+class TestKernelAndProgram:
+    def test_kernel_gate_api_builds_circuit(self, perfect_4q_platform):
+        kernel = Kernel("demo", perfect_4q_platform)
+        kernel.hadamard(0).cnot(0, 1).rx(2, 0.5).measure(1)
+        assert kernel.gate_count() == 3
+        assert kernel.depth() >= 2
+        assert len(kernel.circuit.measurements()) == 1
+
+    def test_kernel_rejects_too_many_qubits(self, perfect_4q_platform):
+        with pytest.raises(ValueError):
+            Kernel("too_big", perfect_4q_platform, num_qubits=10)
+
+    def test_kernel_gate_with_angle(self, perfect_4q_platform):
+        kernel = Kernel("rot", perfect_4q_platform)
+        kernel.gate("rz", 0, angle=1.2)
+        assert kernel.circuit.gate_operations()[0].params == (1.2,)
+
+    def test_kernel_extend_with_circuit(self, perfect_4q_platform):
+        from repro.core.circuit import bell_pair_circuit
+
+        kernel = Kernel("ext", perfect_4q_platform)
+        kernel.extend(bell_pair_circuit())
+        assert kernel.gate_count() == 2
+
+    def test_kernel_prepz_is_noop(self, perfect_4q_platform):
+        kernel = Kernel("prep", perfect_4q_platform)
+        kernel.prepz(0)
+        assert kernel.gate_count() == 0
+
+    def test_program_new_kernel_registers(self, perfect_4q_platform):
+        program = Program("app", perfect_4q_platform)
+        kernel = program.new_kernel("main")
+        kernel.x(0)
+        assert program.kernels == [kernel]
+        assert program.total_gate_count() == 1
+
+    def test_program_for_loop_multiplies_gate_count(self, perfect_4q_platform):
+        program = Program("loop", perfect_4q_platform)
+        kernel = Kernel("body", perfect_4q_platform)
+        kernel.x(0)
+        program.add_for(kernel, 10)
+        assert program.total_gate_count() == 10
+
+    def test_program_conditional_kernel(self, perfect_4q_platform):
+        program = Program("cond", perfect_4q_platform)
+        kernel = Kernel("branch", perfect_4q_platform)
+        kernel.z(0)
+        program.add_if(kernel, condition="result == 1")
+        assert program.entries[0].condition == "result == 1"
+
+    def test_program_rejects_invalid_iterations(self, perfect_4q_platform):
+        program = Program("bad", perfect_4q_platform)
+        kernel = Kernel("k", perfect_4q_platform)
+        with pytest.raises(ValueError):
+            program.add_kernel(kernel, iterations=0)
+
+    def test_program_rejects_oversized_request(self, perfect_4q_platform):
+        with pytest.raises(ValueError):
+            Program("big", perfect_4q_platform, num_qubits=16)

@@ -1,0 +1,153 @@
+"""Unit tests for error models and the density-matrix cross-check engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit, bell_pair_circuit
+from repro.core.qubits import PERFECT, REAL_TRANSMON, REALISTIC
+from repro.qx.density import DensityMatrixSimulator
+from repro.qx.error_models import (
+    CompositeError,
+    DecoherenceError,
+    DepolarizingError,
+    MeasurementError,
+    NoError,
+    error_model_for,
+)
+from repro.qx.simulator import QXSimulator
+from repro.qx.statevector import StateVector
+
+
+class TestErrorModels:
+    def test_no_error_injects_nothing(self):
+        state = StateVector(2)
+        rng = np.random.default_rng(0)
+        assert NoError().apply_after_gate(state, (0, 1), 100.0, rng) == 0
+        assert NoError().flip_measurement(1, rng) == 1
+
+    def test_depolarizing_rate_validation(self):
+        with pytest.raises(ValueError):
+            DepolarizingError(1.5)
+
+    def test_depolarizing_injection_rate(self):
+        rng = np.random.default_rng(1)
+        model = DepolarizingError(0.5)
+        state = StateVector(1, rng=rng)
+        injected = sum(model.apply_after_gate(state, (0,), 20.0, rng) for _ in range(1000))
+        assert 400 < injected < 600
+
+    def test_depolarizing_two_qubit_rate_used(self):
+        rng = np.random.default_rng(2)
+        model = DepolarizingError(0.0, two_qubit_error_rate=1.0)
+        state = StateVector(2, rng=rng)
+        assert model.apply_after_gate(state, (0, 1), 20.0, rng) == 2
+        assert model.apply_after_gate(state, (0,), 20.0, rng) == 0
+
+    def test_measurement_error_flip_probability_one(self):
+        rng = np.random.default_rng(3)
+        model = MeasurementError(1.0)
+        assert model.flip_measurement(0, rng) == 1
+        assert model.flip_measurement(1, rng) == 0
+
+    def test_measurement_error_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementError(-0.1)
+
+    def test_decoherence_short_times_inject_often(self):
+        rng = np.random.default_rng(4)
+        model = DecoherenceError(t1_ns=10.0, t2_ns=10.0)
+        state = StateVector(1, rng=rng)
+        state.apply_pauli("x", 0)
+        injected = model.apply_after_gate(state, (0,), 1000.0, rng)
+        assert injected >= 1
+        # After amplitude damping the excited state must have relaxed.
+        assert state.probability_of_one(0) == pytest.approx(0.0)
+
+    def test_decoherence_infinite_times_inject_nothing(self):
+        rng = np.random.default_rng(5)
+        model = DecoherenceError(t1_ns=float("inf"), t2_ns=float("inf"))
+        state = StateVector(1, rng=rng)
+        assert model.apply_after_gate(state, (0,), 1e6, rng) == 0
+
+    def test_composite_combines_models(self):
+        composite = CompositeError(DepolarizingError(1.0), MeasurementError(1.0))
+        rng = np.random.default_rng(6)
+        state = StateVector(1, rng=rng)
+        assert composite.apply_after_gate(state, (0,), 20.0, rng) == 1
+        assert composite.flip_measurement(0, rng) == 1
+        assert "depolarizing" in composite.describe()
+
+    def test_error_model_for_perfect_is_none(self):
+        assert isinstance(error_model_for(PERFECT), NoError)
+
+    def test_error_model_for_realistic_is_composite(self):
+        model = error_model_for(REALISTIC)
+        assert not isinstance(model, NoError)
+        assert "depolarizing" in model.describe()
+
+    def test_error_model_for_real_transmon_includes_measurement(self):
+        model = error_model_for(REAL_TRANSMON)
+        rng = np.random.default_rng(7)
+        flips = sum(model.flip_measurement(0, rng) for _ in range(2000))
+        expected = REAL_TRANSMON.measurement_error_rate * 2000
+        assert 0.2 * expected < flips < 3.0 * expected
+
+
+class TestDensityMatrix:
+    def test_qubit_limit(self):
+        with pytest.raises(ValueError):
+            DensityMatrixSimulator(11)
+
+    def test_pure_state_purity_one(self):
+        dm = DensityMatrixSimulator(2)
+        dm.run(bell_pair_circuit())
+        assert dm.purity() == pytest.approx(1.0)
+        assert dm.trace() == pytest.approx(1.0)
+
+    def test_depolarizing_reduces_purity(self):
+        dm = DensityMatrixSimulator(2, depolarizing_rate=0.1)
+        dm.run(bell_pair_circuit())
+        assert dm.purity() < 1.0
+        assert dm.trace() == pytest.approx(1.0)
+
+    def test_probabilities_match_statevector_for_no_noise(self):
+        circuit = Circuit(3)
+        circuit.h(0).cnot(0, 1).t(1).cnot(1, 2)
+        dm = DensityMatrixSimulator(3)
+        dm.run(circuit)
+        statevector = QXSimulator(seed=0).statevector(circuit)
+        np.testing.assert_allclose(dm.probabilities(), np.abs(statevector) ** 2, atol=1e-10)
+
+    def test_measurements_rejected(self):
+        dm = DensityMatrixSimulator(1)
+        circuit = Circuit(1)
+        circuit.measure(0)
+        with pytest.raises(ValueError):
+            dm.run(circuit)
+
+    def test_trajectory_average_matches_exact_channel(self):
+        """Many state-vector trajectories must converge to the density matrix."""
+        rate = 0.15
+        circuit = Circuit(2)
+        circuit.h(0).cnot(0, 1)
+        dm = DensityMatrixSimulator(2, depolarizing_rate=rate)
+        dm.run(circuit)
+        exact = dm.expectation_z(0)
+
+        simulator = QXSimulator(error_model=DepolarizingError(rate), seed=13)
+        total = 0.0
+        shots = 600
+        for _ in range(shots):
+            state = StateVector(2, rng=simulator.rng)
+            for op in circuit.gate_operations():
+                state.apply_gate(op.gate.matrix, op.qubits)
+                simulator.error_model.apply_after_gate(state, op.qubits, 20.0, simulator.rng)
+            total += state.expectation_z(0)
+        trajectory_average = total / shots
+        assert abs(trajectory_average - exact) < 0.1
+
+    def test_fidelity_with_pure_state(self):
+        dm = DensityMatrixSimulator(2)
+        dm.run(bell_pair_circuit())
+        bell = QXSimulator(seed=0).statevector(bell_pair_circuit())
+        assert dm.fidelity_with_pure(bell) == pytest.approx(1.0)

@@ -1,0 +1,139 @@
+"""Unit tests for the QX simulator front-end."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit, bell_pair_circuit, ghz_circuit
+from repro.core.qubits import PERFECT, REALISTIC
+from repro.qx.error_models import DepolarizingError, MeasurementError, NoError
+from repro.qx.simulator import QXSimulator
+
+
+def test_bell_state_counts_only_correlated(ideal_simulator, bell_circuit):
+    result = ideal_simulator.run(bell_circuit, shots=500)
+    assert set(result.counts) <= {"00", "11"}
+    assert sum(result.counts.values()) == 500
+    assert 0.3 < result.probability("00") < 0.7
+
+
+def test_ghz_counts_two_outcomes(ideal_simulator, ghz5_circuit):
+    result = ideal_simulator.run(ghz5_circuit, shots=300)
+    assert set(result.counts) <= {"00000", "11111"}
+
+
+def test_shots_must_be_positive(ideal_simulator, bell_circuit):
+    with pytest.raises(ValueError):
+        ideal_simulator.run(bell_circuit, shots=0)
+
+
+def test_deterministic_circuit_single_outcome(ideal_simulator):
+    circuit = Circuit(2)
+    circuit.x(0).x(1).measure_all()
+    result = ideal_simulator.run(circuit, shots=50)
+    assert result.counts == {"11": 50}
+    assert result.most_frequent() == "11"
+
+
+def test_simulator_register_size_check():
+    simulator = QXSimulator(num_qubits=2)
+    with pytest.raises(ValueError):
+        simulator.run(ghz_circuit(3), shots=1)
+
+
+def test_final_state_returned_when_no_measurement():
+    simulator = QXSimulator(seed=3)
+    result = simulator.run(bell_pair_circuit(), shots=1)
+    assert result.final_state is not None
+    np.testing.assert_allclose(np.abs(result.final_state[[0, 3]]) ** 2, [0.5, 0.5], atol=1e-12)
+
+
+def test_statevector_matches_unitary_column(ideal_simulator):
+    circuit = bell_pair_circuit()
+    statevector = ideal_simulator.statevector(circuit)
+    np.testing.assert_allclose(statevector, circuit.to_unitary()[:, 0], atol=1e-12)
+
+
+def test_statevector_rejects_measurement(ideal_simulator, bell_circuit):
+    with pytest.raises(ValueError):
+        ideal_simulator.statevector(bell_circuit)
+
+
+def test_error_model_and_qubit_model_mutually_exclusive():
+    with pytest.raises(ValueError):
+        QXSimulator(error_model=NoError(), qubit_model=REALISTIC)
+
+
+def test_qubit_model_constructs_matching_error_model():
+    simulator = QXSimulator(qubit_model=PERFECT)
+    assert isinstance(simulator.error_model, NoError)
+    noisy = QXSimulator(qubit_model=REALISTIC)
+    assert not isinstance(noisy.error_model, NoError)
+
+
+def test_noisy_bell_eventually_produces_wrong_outcomes(bell_circuit):
+    simulator = QXSimulator(error_model=DepolarizingError(0.2), seed=9)
+    result = simulator.run(bell_circuit, shots=300)
+    assert set(result.counts) - {"00", "11"}, "strong noise must leak into 01/10"
+    assert result.errors_injected > 0
+
+
+def test_measurement_error_flips_deterministic_outcome():
+    circuit = Circuit(1)
+    circuit.measure(0)
+    simulator = QXSimulator(error_model=MeasurementError(1.0), seed=1)
+    result = simulator.run(circuit, shots=20)
+    assert result.counts == {"1": 20}
+
+
+def test_seeded_runs_are_reproducible(bell_circuit):
+    first = QXSimulator(seed=42).run(bell_circuit, shots=200).counts
+    second = QXSimulator(seed=42).run(bell_circuit, shots=200).counts
+    assert first == second
+
+
+def test_classical_bits_recorded_per_shot(ideal_simulator, bell_circuit):
+    result = ideal_simulator.run(bell_circuit, shots=25)
+    assert len(result.classical_bits) == 25
+    for bits in result.classical_bits:
+        assert bits[0] == bits[1]
+
+
+def test_expectation_z_from_result(ideal_simulator):
+    circuit = Circuit(1)
+    circuit.x(0).measure(0)
+    result = ideal_simulator.run(circuit, shots=10)
+    assert result.expectation_z(0) == pytest.approx(-1.0)
+
+
+def test_success_probability_helper(ideal_simulator, bell_circuit):
+    result = ideal_simulator.run(bell_circuit, shots=100)
+    assert result.success_probability("00") + result.success_probability("11") == pytest.approx(1.0)
+
+
+def test_fidelity_with_ideal_decreases_with_noise():
+    circuit = ghz_circuit(4)
+    low_noise = QXSimulator(error_model=DepolarizingError(0.001), seed=5)
+    high_noise = QXSimulator(error_model=DepolarizingError(0.1), seed=5)
+    fidelity_low = low_noise.fidelity_with_ideal(circuit, shots=30)
+    fidelity_high = high_noise.fidelity_with_ideal(circuit, shots=30)
+    assert fidelity_low > fidelity_high
+
+
+def test_mid_circuit_measurement_forces_trajectories():
+    circuit = Circuit(2)
+    circuit.h(0)
+    circuit.measure(0)
+    circuit.cnot(0, 1)
+    circuit.measure(1)
+    result = QXSimulator(seed=8).run(circuit, shots=100)
+    # Measured qubit 0 then CNOT: outcomes must remain correlated.
+    for bits in result.classical_bits:
+        assert bits[0] == bits[1]
+
+
+def test_initial_state_override(ideal_simulator):
+    circuit = Circuit(1)
+    circuit.measure(0)
+    one_state = np.array([0.0, 1.0], dtype=complex)
+    result = ideal_simulator.run(circuit, shots=10, initial_state=one_state)
+    assert result.counts == {"1": 10}

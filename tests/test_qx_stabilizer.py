@@ -1,0 +1,165 @@
+"""Unit tests for the stabilizer (Clifford) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit, bell_pair_circuit, ghz_circuit
+from repro.qx.simulator import QXSimulator
+from repro.qx.stabilizer import StabilizerSimulator, StabilizerState
+
+
+def _clifford_random_circuit(num_qubits, depth, seed):
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, f"clifford_{seed}")
+    singles = ["h", "s", "x", "z", "sdag", "y"]
+    for _ in range(depth):
+        for qubit in range(num_qubits):
+            if num_qubits > 1 and rng.random() < 0.3:
+                other = int(rng.integers(num_qubits - 1))
+                if other >= qubit:
+                    other += 1
+                circuit.cnot(qubit, other)
+            else:
+                circuit.add_gate(singles[int(rng.integers(len(singles)))], qubit)
+    return circuit
+
+
+class TestStabilizerState:
+    def test_initial_stabilizers_are_z(self):
+        state = StabilizerState(3)
+        assert state.stabilizer_strings() == ["+ZII", "+IZI", "+IIZ"]
+
+    def test_x_flips_measurement(self):
+        state = StabilizerState(1)
+        state.apply_x(0)
+        assert state.measure(0) == 1
+
+    def test_hadamard_gives_random_outcomes(self):
+        rng = np.random.default_rng(3)
+        outcomes = set()
+        for _ in range(30):
+            state = StabilizerState(1, rng=rng)
+            state.apply_h(0)
+            outcomes.add(state.measure(0))
+        assert outcomes == {0, 1}
+
+    def test_measurement_is_repeatable_after_collapse(self):
+        rng = np.random.default_rng(4)
+        state = StabilizerState(1, rng=rng)
+        state.apply_h(0)
+        first = state.measure(0)
+        assert state.measure(0) == first
+
+    def test_bell_state_stabilizers(self):
+        state = StabilizerState(2)
+        state.apply_h(0)
+        state.apply_cnot(0, 1)
+        strings = set(state.stabilizer_strings())
+        assert strings == {"+XX", "+ZZ"}
+
+    def test_bell_state_correlated_measurements(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            state = StabilizerState(2, rng=rng)
+            state.apply_h(0)
+            state.apply_cnot(0, 1)
+            assert state.measure(0) == state.measure(1)
+
+    def test_deterministic_expectation(self):
+        state = StabilizerState(2)
+        assert state.expectation_z_deterministic(0) == 1
+        state.apply_x(0)
+        assert state.expectation_z_deterministic(0) == -1
+        state.apply_h(1)
+        assert state.expectation_z_deterministic(1) is None
+
+    def test_s_gate_phase_visible_via_hadamard_conjugation(self):
+        # H S S H |0> = H Z H |0> = X |0> = |1>.
+        state = StabilizerState(1)
+        state.apply_h(0)
+        state.apply_s(0)
+        state.apply_s(0)
+        state.apply_h(0)
+        assert state.measure(0) == 1
+
+    def test_sdag_inverts_s(self):
+        state = StabilizerState(1)
+        state.apply_h(0)
+        state.apply_s(0)
+        state.apply_sdag(0)
+        state.apply_h(0)
+        assert state.measure(0) == 0
+
+    def test_swap_moves_excitation(self):
+        state = StabilizerState(2)
+        state.apply_x(0)
+        state.apply_swap(0, 1)
+        assert state.measure(0) == 0
+        assert state.measure(1) == 1
+
+    def test_unknown_gate_rejected(self):
+        state = StabilizerState(1)
+        with pytest.raises(ValueError):
+            state.apply_gate("t", (0,))
+
+    def test_copy_is_independent(self):
+        state = StabilizerState(1)
+        clone = state.copy()
+        clone.apply_x(0)
+        assert state.measure(0) == 0
+
+
+class TestStabilizerSimulator:
+    def test_bell_counts(self):
+        circuit = bell_pair_circuit()
+        circuit.measure_all()
+        counts = StabilizerSimulator(seed=1).run(circuit, shots=300)
+        assert set(counts) <= {"00", "11"}
+        assert 100 < counts.get("00", 0) < 200
+
+    def test_large_ghz_counts(self):
+        """Far beyond state-vector reach: a 60-qubit GHZ state."""
+        circuit = ghz_circuit(60)
+        circuit.measure_all()
+        counts = StabilizerSimulator(seed=2).run(circuit, shots=20)
+        assert set(counts) <= {"0" * 60, "1" * 60}
+
+    def test_is_clifford_circuit_detection(self):
+        clifford = bell_pair_circuit()
+        assert StabilizerSimulator.is_clifford_circuit(clifford)
+        non_clifford = Circuit(1)
+        non_clifford.t(0)
+        assert not StabilizerSimulator.is_clifford_circuit(non_clifford)
+
+    def test_final_state_rejects_measurements(self):
+        circuit = Circuit(1)
+        circuit.measure(0)
+        with pytest.raises(ValueError):
+            StabilizerSimulator().final_state(circuit)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_agrees_with_statevector_on_deterministic_observables(self, seed):
+        """Cross-validation: <Z_q> from the tableau matches the state vector."""
+        circuit = _clifford_random_circuit(4, 6, seed)
+        tableau = StabilizerSimulator(seed=0).final_state(circuit)
+        statevector = QXSimulator(seed=0).statevector(circuit)
+        probabilities = np.abs(statevector) ** 2
+        for qubit in range(4):
+            indices = np.arange(probabilities.size)
+            expectation = float(np.sum((1 - 2 * ((indices >> qubit) & 1)) * probabilities))
+            deterministic = tableau.expectation_z_deterministic(qubit)
+            if deterministic is not None:
+                assert expectation == pytest.approx(float(deterministic), abs=1e-9)
+            else:
+                assert abs(expectation) < 1e-9
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_measurement_distribution_matches_statevector(self, seed):
+        circuit = _clifford_random_circuit(3, 5, seed)
+        circuit.measure_all()
+        stab_counts = StabilizerSimulator(seed=11).run(circuit, shots=600)
+        sv_counts = QXSimulator(seed=11).run(circuit, shots=600).counts
+        # Compare support and rough frequencies.
+        assert set(stab_counts) == set(sv_counts)
+        for key in stab_counts:
+            assert abs(stab_counts[key] - sv_counts[key]) < 120
