@@ -1,29 +1,10 @@
-"""Shared helpers for the benchmark harness.
+"""Benchmark-harness conftest.
 
-Every module in this directory regenerates one of the paper's figures,
-tables or quantitative claims (see DESIGN.md for the experiment index).
-Each test uses the pytest-benchmark fixture for timing and prints the
-reproduced rows/series so the output can be compared side by side with the
-paper; EXPERIMENTS.md records the paper-versus-measured comparison.
+The shared table/timing helpers live in :mod:`bench_utils` (importable from
+every benchmark module without going through the ``conftest`` module name);
+they are re-exported here for backwards compatibility only.
 """
 
 from __future__ import annotations
 
-
-def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
-    """Print a small aligned table under a banner (the reproduced figure/table)."""
-    print(f"\n=== {title} ===")
-    widths = [
-        max(len(str(headers[i])), max((len(str(row[i])) for row in rows), default=0))
-        for i in range(len(headers))
-    ]
-    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
-    print(header_line)
-    print("-" * len(header_line))
-    for row in rows:
-        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
-
-
-def run_once(benchmark, function, *args, **kwargs):
-    """Run an expensive experiment exactly once under the benchmark fixture."""
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+from bench_utils import print_table, run_once  # noqa: F401  (re-export)

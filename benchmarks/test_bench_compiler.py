@@ -8,7 +8,7 @@ and the scheduled makespan.
 
 import pytest
 
-from conftest import print_table, run_once
+from bench_utils import print_table, run_once
 from repro.algorithms.grover import grover_circuit
 from repro.core.circuit import qft_circuit, random_circuit
 from repro.openql.compiler import Compiler
@@ -49,6 +49,7 @@ def _bell():
     return bell_pair_circuit()
 
 
+@pytest.mark.bench_smoke
 def test_compiler_pass_statistics_table(benchmark):
     def run_all():
         return [_compile_kernel(name, build()) for name, build in KERNELS.items()]

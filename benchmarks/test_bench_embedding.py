@@ -17,7 +17,7 @@ operative one), matching how D-Wave's own tooling sizes dense problems.
 import networkx as nx
 import pytest
 
-from conftest import print_table, run_once
+from bench_utils import print_table, run_once
 from repro.annealing.chimera import dwave_2000q_graph
 from repro.annealing.digital_annealer import DigitalAnnealer
 from repro.annealing.embedding import MinorEmbedder, chimera_clique_embedding
@@ -33,6 +33,7 @@ def _tsp_interaction_graph(num_cities: int) -> nx.Graph:
     return graph
 
 
+@pytest.mark.bench_smoke
 def test_capacity_dwave_vs_digital_annealer(benchmark):
     def sweep():
         dwave = dwave_2000q_graph()

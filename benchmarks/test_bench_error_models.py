@@ -10,7 +10,7 @@ fidelity high; and decoherence grows with circuit duration.
 
 import pytest
 
-from conftest import print_table, run_once
+from bench_utils import print_table, run_once
 from repro.core.circuit import ghz_circuit, random_circuit
 from repro.qx.error_models import DecoherenceError, DepolarizingError
 from repro.qx.simulator import QXSimulator
@@ -25,6 +25,7 @@ def _fidelity_for_rate(rate, depth=20, shots=25):
     return simulator.fidelity_with_ideal(circuit, shots=shots)
 
 
+@pytest.mark.bench_smoke
 def test_fidelity_vs_error_rate(benchmark):
     def sweep():
         return {rate: _fidelity_for_rate(rate) for rate in ERROR_RATES}

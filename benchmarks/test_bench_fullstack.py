@@ -9,7 +9,7 @@ answer, realistic qubits degrade it.
 
 import pytest
 
-from conftest import print_table, run_once
+from bench_utils import print_table, run_once
 from repro.cqasm.parser import cqasm_to_circuit
 from repro.openql.compiler import Compiler
 from repro.openql.platform import perfect_platform, realistic_platform
@@ -44,6 +44,7 @@ def _full_stack_run(error_rate, num_qubits=4, shots=400):
     }
 
 
+@pytest.mark.bench_smoke
 def test_perfect_qubit_full_stack(benchmark):
     stats = run_once(benchmark, _full_stack_run, 0.0)
     assert stats["ghz_fidelity_proxy"] == pytest.approx(1.0)
@@ -67,3 +68,39 @@ def test_realistic_qubit_full_stack_degrades_with_error_rate(benchmark):
     )
     assert series[1e-4] > series[5e-2]
     assert series[1e-4] > 0.9
+
+
+def test_full_stack_shot_scaling_on_compiled_path(benchmark):
+    """Perfect-qubit execution precompiles once and samples the final
+    distribution, so the cost of extra shots is the histogram draw, not a
+    re-simulation — the sampled path should stay near-flat in shot count."""
+    import time
+
+    platform = perfect_platform(16)
+    compiled = Compiler().compile(_build_program(platform, 16))
+    circuit = cqasm_to_circuit(compiled.cqasm)
+
+    def sweep():
+        timings = {}
+        for shots in (1, 100, 10_000):
+            simulator = QXSimulator(qubit_model=platform.qubit_model, seed=11)
+            start = time.perf_counter()
+            result = simulator.run(circuit, shots=shots)
+            timings[shots] = (time.perf_counter() - start, result.counts)
+        return timings
+
+    timings = run_once(benchmark, sweep)
+    rows = [
+        (shots, f"{elapsed * 1000:.1f}", sum(counts.values()))
+        for shots, (elapsed, counts) in timings.items()
+    ]
+    print_table(
+        "E1c compiled sampled path: 16-qubit GHZ full stack vs shot count",
+        ["shots", "time_ms", "recorded_shots"],
+        rows,
+    )
+    for shots, (_, counts) in timings.items():
+        assert sum(counts.values()) == shots
+        assert set(counts) <= {"0" * 16, "1" * 16}
+    # 10000 shots must not cost anywhere near 10000x one shot.
+    assert timings[10_000][0] < timings[1][0] * 50

@@ -15,7 +15,7 @@ import math
 
 import pytest
 
-from conftest import print_table, run_once
+from bench_utils import print_table, run_once
 from repro.algorithms.grover import (
     GroverSearch,
     classical_search_queries,
@@ -55,6 +55,7 @@ def test_query_count_scaling(benchmark):
         assert grover <= sqrt_n  # ~ (pi/4) sqrt(N) < sqrt(N)
 
 
+@pytest.mark.bench_smoke
 def test_amplified_success_probability(benchmark):
     def run():
         search = GroverSearch(14)

@@ -13,7 +13,7 @@ handling a QEC-scale Clifford workload far beyond state-vector reach, the
 
 import pytest
 
-from conftest import print_table, run_once
+from bench_utils import print_table, run_once
 from repro.core.circuit import ghz_circuit, qft_circuit, random_circuit
 from repro.mapping.placement import greedy_placement, trivial_placement
 from repro.mapping.routing import Router
@@ -22,6 +22,7 @@ from repro.mapping.traffic import TrafficAnalyzer
 from repro.qx.stabilizer import StabilizerSimulator
 
 
+@pytest.mark.bench_smoke
 def test_locality_score_by_connectivity(benchmark):
     def sweep():
         analyzer = TrafficAnalyzer()

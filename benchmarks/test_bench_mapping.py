@@ -9,7 +9,7 @@ placement design choice called out in DESIGN.md).
 
 import pytest
 
-from conftest import print_table, run_once
+from bench_utils import print_table, run_once
 from repro.core.circuit import ghz_circuit, qft_circuit, random_circuit
 from repro.mapping.placement import greedy_placement, trivial_placement
 from repro.mapping.routing import Router
@@ -35,6 +35,7 @@ def _route(circuit, topology, placement_strategy):
     return result, makespan
 
 
+@pytest.mark.bench_smoke
 def test_routing_overhead_per_circuit(benchmark):
     topology = grid_topology(3, 3)
 

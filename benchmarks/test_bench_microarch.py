@@ -10,7 +10,7 @@ platform configuration.
 
 import pytest
 
-from conftest import print_table, run_once
+from bench_utils import print_table, run_once
 from repro.algorithms.randomized_benchmarking import RandomizedBenchmarking
 from repro.microarch.executor import QuantumAccelerator
 from repro.openql.compiler import Compiler
@@ -44,6 +44,7 @@ def _rb_through_microarchitecture(platform, lengths=(1, 4, 8, 16), shots=100):
     return rows
 
 
+@pytest.mark.bench_smoke
 def test_randomized_benchmarking_on_superconducting_stack(benchmark):
     rows = run_once(benchmark, _rb_through_microarchitecture, superconducting_platform())
     print_table(

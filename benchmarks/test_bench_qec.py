@@ -10,11 +10,12 @@ crossover), and the small codes suppress errors quadratically.
 
 import pytest
 
-from conftest import print_table, run_once
+from bench_utils import print_table, run_once
 from repro.qec.codes import RepetitionCode, SteaneCode
 from repro.qec.surface_code import PlanarSurfaceCode
 
 
+@pytest.mark.bench_smoke
 def test_small_code_suppression(benchmark):
     def sweep():
         rows = []

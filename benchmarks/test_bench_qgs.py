@@ -14,7 +14,7 @@ import math
 
 import pytest
 
-from conftest import print_table, run_once
+from bench_utils import print_table, run_once
 from repro.apps.qgs.classical_alignment import ClassicalAligner, IndexedAligner
 from repro.apps.qgs.dna import ArtificialGenome
 from repro.apps.qgs.microarchitecture import QGSMicroArchitecture
@@ -42,6 +42,7 @@ def _run_pipeline():
     return genome, quantum_report, classical_results, indexed_results
 
 
+@pytest.mark.bench_smoke
 def test_alignment_accuracy_and_query_counts(benchmark):
     genome, quantum, classical_results, indexed_results = run_once(benchmark, _run_pipeline)
     classical_correct = sum(1 for r in classical_results if r.correct) / len(classical_results)

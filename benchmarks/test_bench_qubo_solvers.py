@@ -12,7 +12,7 @@ each path can handle at all.
 import numpy as np
 import pytest
 
-from conftest import print_table, run_once
+from bench_utils import print_table, run_once
 from repro.algorithms.qaoa import QAOA
 from repro.annealing.digital_annealer import DigitalAnnealer
 from repro.annealing.quantum_annealer import SimulatedQuantumAnnealer
@@ -25,6 +25,7 @@ def _ring_maxcut(size):
     return maxcut_qubo(edges, size)
 
 
+@pytest.mark.bench_smoke
 def test_solution_quality_small_instances(benchmark):
     def sweep():
         rows = []

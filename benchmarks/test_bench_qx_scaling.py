@@ -13,7 +13,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import print_table, run_once
+from bench_utils import print_table, run_once
 from repro.core.circuit import ghz_circuit
 from repro.qx.simulator import QXSimulator
 
@@ -53,6 +53,7 @@ def test_ghz_scaling_sweep(benchmark):
     assert results[20][0] < 60.0
 
 
+@pytest.mark.bench_smoke
 def test_single_shot_20_qubit_ghz(benchmark):
     def run():
         circuit = ghz_circuit(20)
@@ -61,3 +62,46 @@ def test_single_shot_20_qubit_ghz(benchmark):
 
     counts = benchmark.pedantic(run, rounds=1, iterations=1)
     assert set(counts) <= {"0" * 20, "1" * 20}
+
+
+def test_kernel_fast_path_speedup_over_generic(benchmark):
+    """Fast path (in-place kernels + fusion) vs the generic reference pipeline.
+
+    The acceptance bar for the simulation-core rework: >= 3x on 16+ qubit
+    circuits, with bit-for-bit (up to global phase) identical amplitudes.
+    """
+    from repro.core.circuit import random_circuit
+    from repro.qx.compiled import program_for
+    from repro.qx.statevector import StateVector
+
+    def compare(num_qubits):
+        circuit = random_circuit(num_qubits, 6, seed=7)
+        reference = StateVector(num_qubits)
+        start = time.perf_counter()
+        for op in circuit.gate_operations():
+            reference.apply_gate_generic(op.gate.matrix, op.qubits)
+        generic_s = time.perf_counter() - start
+
+        program = program_for(circuit, fuse=True)
+        fast = StateVector(num_qubits)
+        start = time.perf_counter()
+        amplitudes = program.apply_unitaries(fast.amplitudes)
+        fast_s = time.perf_counter() - start
+        assert np.allclose(amplitudes, reference.amplitudes, atol=1e-8)
+        return generic_s, fast_s, circuit.gate_count(), len(program.ops)
+
+    def sweep():
+        return {n: compare(n) for n in (16, 18, 20)}
+
+    results = run_once(benchmark, sweep)
+    rows = [
+        (n, f"{g * 1000:.1f}", f"{f * 1000:.1f}", f"{g / f:.2f}x", gates, fused)
+        for n, (g, f, gates, fused) in results.items()
+    ]
+    print_table(
+        "QX fast path vs generic reference (random depth-6 circuits)",
+        ["qubits", "generic_ms", "fast_ms", "speedup", "gates", "fused_ops"],
+        rows,
+    )
+    for n, (generic_s, fast_s, _, _) in results.items():
+        assert fast_s < generic_s / 2, f"fast path below 2x at {n} qubits"

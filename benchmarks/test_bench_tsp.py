@@ -14,7 +14,7 @@ Reproduces the paper's worked optimisation example end to end:
 
 import pytest
 
-from conftest import print_table, run_once
+from bench_utils import print_table, run_once
 from repro.annealing.digital_annealer import DigitalAnnealer
 from repro.annealing.quantum_annealer import SimulatedQuantumAnnealer
 from repro.annealing.simulated_annealing import SimulatedAnnealer
@@ -76,6 +76,7 @@ def test_netherlands_tsp_figure9(benchmark):
     assert qaoa_cost <= exact_cost * 1.3
 
 
+@pytest.mark.bench_smoke
 def test_qubo_encoding_cost(benchmark):
     """Building the QUBO and checking its feasible-energy identity."""
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Run one representative benchmark per module with timing disabled.
+
+The full benchmark harness (``pytest benchmarks``) reproduces the paper's
+experiments with real timing, which is slow and noisy.  This smoke run
+exercises the same code paths — one ``bench_smoke``-marked test per
+benchmark module — with ``--benchmark-disable`` so perf-critical code is
+covered by CI without the timing noise.
+
+Usage: ``python scripts/bench_smoke.py [extra pytest args]``
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main() -> int:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks",
+        "-m",
+        "bench_smoke",
+        "--benchmark-disable",
+        "-q",
+        *sys.argv[1:],
+    ]
+    return subprocess.call(command, env=env, cwd=REPO_ROOT)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

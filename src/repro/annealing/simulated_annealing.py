@@ -65,19 +65,40 @@ class SimulatedAnnealer:
         trace: list[float] = []
         n = model.num_spins
         betas = self.betas()
-        # Dense symmetric coupling matrix for fast local-field updates.
-        symmetric = model.couplings + model.couplings.T
+        # Dense symmetric coupling matrix for fast local-field updates;
+        # C-contiguous so the per-flip row access below is a contiguous read.
+        symmetric = np.ascontiguousarray(model.couplings + model.couplings.T)
         for _ in range(self.num_reads):
             spins = self.rng.choice([-1.0, 1.0], size=n)
             fields = model.h + symmetric @ spins
             energy = model.energy(spins)
             for beta in betas:
-                for index in self.rng.permutation(n):
+                order = self.rng.permutation(n)
+                # Pre-drawn Metropolis thresholds: accept a flip of spin i
+                # iff delta_i < limit_i, where limit = -log(u)/beta.  This
+                # reproduces `delta <= 0 or u < exp(-beta*delta)` without a
+                # per-spin rng call or exp.
+                uniforms = self.rng.random(n)
+                limits = -np.log(np.maximum(uniforms, 1e-300)) / beta
+                # Batch accept test against the sweep-start fields: spins
+                # that fail it under *stale* fields are rejected outright;
+                # surviving candidates are re-tested sequentially with the
+                # exact (updated) local fields.  At low temperature almost
+                # every spin is filtered here, skipping the Python loop.
+                # Deliberate deviation from strict sequential Metropolis: a
+                # spin whose delta only drops below its threshold because a
+                # neighbour flipped earlier in the same sweep stays rejected
+                # until the next sweep — a valid annealing heuristic (every
+                # accepted move still satisfies the exact-field test), traded
+                # for the vectorised prefilter.
+                stale_accept = (-2.0 * spins * fields) < limits
+                candidates = order[stale_accept[order]]
+                for index in candidates:
                     delta = -2.0 * spins[index] * fields[index]
-                    if delta <= 0.0 or self.rng.random() < np.exp(-beta * delta):
+                    if delta < limits[index]:
                         spins[index] = -spins[index]
                         energy += delta
-                        fields += 2.0 * spins[index] * symmetric[:, index]
+                        fields += (2.0 * spins[index]) * symmetric[index]
                 trace.append(energy)
             if energy < best_energy:
                 best_energy = energy

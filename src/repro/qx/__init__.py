@@ -8,6 +8,7 @@ to the micro-architecture.
 """
 
 from repro.qx.statevector import StateVector
+from repro.qx.compiled import KernelProgram, lower, program_for
 from repro.qx.error_models import (
     ErrorModel,
     NoError,
@@ -25,6 +26,9 @@ from repro.qx.stabilizer import StabilizerSimulator, StabilizerState
 
 __all__ = [
     "StateVector",
+    "KernelProgram",
+    "lower",
+    "program_for",
     "ErrorModel",
     "NoError",
     "DepolarizingError",

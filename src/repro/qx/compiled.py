@@ -1,0 +1,241 @@
+"""Circuit precompilation for the QX simulation core.
+
+A :class:`~repro.core.circuit.Circuit` is a list of rich Python objects
+(gates with names, parameters, durations).  Executing it shot after shot
+re-dispatches those objects through ``isinstance`` checks and attribute
+lookups every time.  The precompiler lowers a circuit *once* into a flat
+:class:`KernelProgram` of slotted :class:`KernelOp` records that carry only
+what execution needs — the gate matrix, the operand tuple, the classical
+bit indices — so the simulator's shot loop touches nothing else.
+
+With ``fuse=True`` adjacent single-qubit gates on the same qubit are folded
+into one 2x2 matrix (runs of rotations, Euler decompositions, and basis
+changes collapse to a single kernel call).  Fusion is only valid when no
+error model hooks in between gates, so the simulator requests ``fuse=False``
+for noisy trajectory execution, where every physical gate must keep its own
+error-injection point and duration.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.core.circuit import Circuit
+from repro.core.operations import (
+    Barrier,
+    ClassicalOperation,
+    ConditionalGate,
+    GateOperation,
+    Measurement,
+)
+from repro.qx import kernels
+
+#: KernelOp kinds.
+GATE = 0
+COND_GATE = 1
+MEASURE = 2
+
+_IDENTITY_2 = np.eye(2, dtype=complex)
+
+
+class KernelOp:
+    """One lowered instruction: a gate application or a measurement."""
+
+    __slots__ = ("kind", "matrix", "qubits", "duration", "bit", "condition_bit", "structure")
+
+    def __init__(self, kind, matrix=None, qubits=(), duration=0, bit=-1, condition_bit=-1):
+        self.kind = kind
+        self.matrix = matrix
+        self.qubits = qubits
+        self.duration = duration
+        self.bit = bit
+        self.condition_bit = condition_bit
+        # 2-qubit gate structure, classified once here rather than per shot.
+        self.structure = (
+            kernels.classify_2q(matrix) if matrix is not None and len(qubits) == 2 else None
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        names = {GATE: "gate", COND_GATE: "cond", MEASURE: "measure"}
+        return f"KernelOp({names[self.kind]}, qubits={self.qubits})"
+
+
+class KernelProgram:
+    """A circuit lowered to a flat list of :class:`KernelOp` records."""
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_bits: int,
+        ops: list[KernelOp],
+        fused: bool,
+        num_measurements: int,
+        has_conditionals: bool,
+        has_mid_circuit_measurement: bool,
+        measured_qubits: tuple[int, ...],
+        measured_bits: tuple[int, ...],
+    ):
+        self.num_qubits = num_qubits
+        self.num_bits = num_bits
+        self.ops = ops
+        self.fused = fused
+        self.num_measurements = num_measurements
+        self.has_conditionals = has_conditionals
+        self.has_mid_circuit_measurement = has_mid_circuit_measurement
+        #: Measured qubit per measurement, in program order.
+        self.measured_qubits = measured_qubits
+        #: Sorted unique classical bits written by measurements.
+        self.measured_bits = measured_bits
+        #: Classical bit -> source qubit (last measurement writing the bit
+        #: wins, mirroring per-shot execution order).
+        self.bit_sources = {
+            op.bit: op.qubits[0] for op in ops if op.kind == MEASURE
+        }
+
+    @property
+    def needs_trajectories(self) -> bool:
+        """True when per-shot re-execution is required for correct semantics."""
+        return self.has_conditionals or self.has_mid_circuit_measurement
+
+    def apply_unitaries(self, amplitudes: np.ndarray) -> np.ndarray:
+        """Apply every unconditional gate in place; returns the amplitude array.
+
+        The single-evolution fast path for measurement-free execution and
+        final-distribution sampling.
+        """
+        for op in self.ops:
+            if op.kind == GATE:
+                amplitudes = kernels.apply_gate_inplace(
+                    amplitudes, op.matrix, op.qubits, structure=op.structure
+                )
+        return amplitudes
+
+
+def lower(circuit: Circuit, fuse: bool = True) -> KernelProgram:
+    """Lower ``circuit`` into a :class:`KernelProgram`.
+
+    Barriers and classical operations carry no simulation semantics and are
+    dropped (barriers conservatively cut fusion runs on their qubits).
+    """
+    ops: list[KernelOp] = []
+    # qubit -> (accumulated 2x2 matrix, accumulated duration)
+    pending: dict[int, tuple[np.ndarray, int]] = {}
+
+    def flush(qubit: int) -> None:
+        entry = pending.pop(qubit, None)
+        if entry is None:
+            return
+        matrix, duration = entry
+        if fuse and np.array_equal(matrix, _IDENTITY_2):
+            return
+        ops.append(KernelOp(GATE, matrix=matrix, qubits=(qubit,), duration=duration))
+
+    def flush_all() -> None:
+        for qubit in list(pending):
+            flush(qubit)
+
+    measured_qubits: list[int] = []
+    measured_bits: set[int] = set()
+    has_conditionals = False
+    mid_circuit = False
+    seen_measured: set[int] = set()
+
+    for op in circuit.operations:
+        if isinstance(op, GateOperation):
+            if seen_measured.intersection(op.qubits):
+                mid_circuit = True
+            if fuse and len(op.qubits) == 1:
+                qubit = op.qubits[0]
+                previous = pending.get(qubit)
+                if previous is None:
+                    pending[qubit] = (np.array(op.gate.matrix, dtype=complex), op.duration)
+                else:
+                    pending[qubit] = (
+                        op.gate.matrix @ previous[0],
+                        previous[1] + op.duration,
+                    )
+                continue
+            for qubit in op.qubits:
+                flush(qubit)
+            ops.append(
+                KernelOp(
+                    GATE,
+                    matrix=np.asarray(op.gate.matrix, dtype=complex),
+                    qubits=op.qubits,
+                    duration=op.duration,
+                )
+            )
+        elif isinstance(op, Measurement):
+            flush(op.qubit)
+            seen_measured.add(op.qubit)
+            measured_qubits.append(op.qubit)
+            measured_bits.add(op.bit)
+            ops.append(
+                KernelOp(MEASURE, qubits=op.qubits, duration=op.duration, bit=op.bit)
+            )
+        elif isinstance(op, ConditionalGate):
+            if seen_measured.intersection(op.qubits):
+                mid_circuit = True
+            has_conditionals = True
+            for qubit in op.qubits:
+                flush(qubit)
+            ops.append(
+                KernelOp(
+                    COND_GATE,
+                    matrix=np.asarray(op.gate.matrix, dtype=complex),
+                    qubits=op.qubits,
+                    duration=op.duration,
+                    condition_bit=op.condition_bit,
+                )
+            )
+        elif isinstance(op, Barrier):
+            for qubit in op.qubits:
+                flush(qubit)
+        elif isinstance(op, ClassicalOperation):
+            continue
+    flush_all()
+
+    return KernelProgram(
+        num_qubits=circuit.num_qubits,
+        num_bits=circuit.num_bits,
+        ops=ops,
+        fused=fuse,
+        num_measurements=len(measured_qubits),
+        has_conditionals=has_conditionals,
+        has_mid_circuit_measurement=mid_circuit,
+        measured_qubits=tuple(measured_qubits),
+        measured_bits=tuple(sorted(measured_bits)),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Per-circuit program cache
+# ---------------------------------------------------------------------- #
+_cache: "weakref.WeakKeyDictionary[Circuit, dict]" = weakref.WeakKeyDictionary()
+
+
+def _fingerprint(circuit: Circuit) -> tuple:
+    # Identity of every operation: catches appends, removals and interior
+    # replacement.  (An id can in principle be reused by a new op allocated
+    # at a freed op's address; callers mutating circuits that aggressively
+    # should call lower() directly.)
+    return tuple(map(id, circuit.operations))
+
+
+def program_for(circuit: Circuit, fuse: bool = True) -> KernelProgram:
+    """Cached :func:`lower`; recompiles when the circuit was appended to."""
+    try:
+        entry = _cache.get(circuit)
+    except TypeError:  # unhashable/unweakrefable circuit-like object
+        return lower(circuit, fuse=fuse)
+    fingerprint = _fingerprint(circuit)
+    if entry is None or entry.get("fingerprint") != fingerprint:
+        entry = {"fingerprint": fingerprint}
+        _cache[circuit] = entry
+    program = entry.get(fuse)
+    if program is None:
+        program = lower(circuit, fuse=fuse)
+        entry[fuse] = program
+    return program

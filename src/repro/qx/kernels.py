@@ -1,0 +1,265 @@
+"""In-place state-vector gate kernels.
+
+The generic gate path in :mod:`repro.qx.statevector` moves the target axes
+to the front of an n-dimensional tensor view, forces a contiguous reshape,
+multiplies by the gate matrix and copies the result back — three to four
+full ``2**n`` allocations per gate.  The kernels here instead exploit the
+fixed stride structure of the amplitude vector: qubit ``q`` partitions the
+vector into contiguous blocks of ``2**q`` amplitudes, so a strided reshape
+(always a *view*, never a copy, because the vector is kept C-contiguous)
+exposes the two half-spaces of any qubit directly.  Gates are then applied
+in place with at most half-size temporaries, and structured matrices
+(diagonal, anti-diagonal, controlled, swap) avoid even those.
+
+All kernels mutate ``amplitudes`` in place and assume (without checking)
+that the array is C-contiguous, one-dimensional, of length ``2**n`` — the
+invariant :class:`~repro.qx.statevector.StateVector` maintains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_ATOL = 1e-12
+
+
+# ---------------------------------------------------------------------- #
+# Strided views
+# ---------------------------------------------------------------------- #
+def qubit_view(amplitudes: np.ndarray, qubit: int) -> np.ndarray:
+    """View the vector as ``(high, 2, low)`` with axis 1 indexing ``qubit``."""
+    return amplitudes.reshape(-1, 2, 1 << qubit)
+
+
+def _pair_view(amplitudes: np.ndarray, q_low: int, q_high: int) -> np.ndarray:
+    """View as ``(high, 2, mid, 2, low)``; axes 1 and 3 index ``q_high``/``q_low``."""
+    low = 1 << q_low
+    mid = 1 << (q_high - q_low - 1)
+    return amplitudes.reshape(-1, 2, mid, 2, low)
+
+
+def pair_parity_expectation(amplitudes: np.ndarray, qubit_a: int, qubit_b: int) -> float:
+    """``<Z_a Z_b>``: signed probability sum over the four qubit-pair blocks.
+
+    Uses the strided pair view directly instead of materialising a
+    ``(-1)**parity`` table over all ``2**n`` basis indices per qubit pair.
+    """
+    if qubit_a == qubit_b:
+        # Z_q Z_q = I: the parity is identically zero.
+        return float(np.vdot(amplitudes, amplitudes).real)
+    q_low, q_high = sorted((qubit_a, qubit_b))
+    view = _pair_view(amplitudes, q_low, q_high)
+    total = 0.0
+    for bit_high in (0, 1):
+        for bit_low in (0, 1):
+            block = view[:, bit_high, :, bit_low, :]
+            weight = float(np.vdot(block, block).real)
+            total += weight if bit_high == bit_low else -weight
+    return total
+
+
+# ---------------------------------------------------------------------- #
+# Single-qubit kernel
+# ---------------------------------------------------------------------- #
+def apply_1q(amplitudes: np.ndarray, matrix: np.ndarray, qubit: int) -> None:
+    """Apply a 2x2 unitary to ``qubit`` in place."""
+    view = qubit_view(amplitudes, qubit)
+    a0 = view[:, 0, :]
+    a1 = view[:, 1, :]
+    m00, m01 = matrix[0, 0], matrix[0, 1]
+    m10, m11 = matrix[1, 0], matrix[1, 1]
+    if abs(m01) < _ATOL and abs(m10) < _ATOL:
+        # Diagonal (z, s, t, rz, phase): two scalings, no temporaries.
+        if abs(m00 - 1.0) > _ATOL:
+            a0 *= m00
+        if abs(m11 - 1.0) > _ATOL:
+            a1 *= m11
+        return
+    if abs(m00) < _ATOL and abs(m11) < _ATOL:
+        # Anti-diagonal (x, y): swap the half-spaces, scaling if needed.
+        swap = a0.copy()
+        np.multiply(a1, m01, out=a0)
+        np.multiply(swap, m10, out=a1)
+        return
+    # Dense 2x2: one half-size temporary.
+    new0 = m00 * a0 + m01 * a1
+    a1 *= m11
+    a1 += m10 * a0
+    a0[...] = new0
+
+
+# ---------------------------------------------------------------------- #
+# Two-qubit kernel
+# ---------------------------------------------------------------------- #
+#: Structure tags returned by :func:`classify_2q`.
+DIAGONAL_2Q = "diagonal"
+CONTROLLED_2Q = "controlled"
+SWAP_2Q = "swap"
+DENSE_2Q = "dense"
+
+
+def classify_2q(matrix: np.ndarray) -> str:
+    """Classify a 4x4 unitary's structure for kernel dispatch.
+
+    Called once per lowered op by the precompiler (stored on the
+    ``KernelOp``), so the matrix scans here are not paid per shot.
+    """
+    off_diagonal = matrix - np.diag(np.diag(matrix))
+    if np.max(np.abs(off_diagonal)) < _ATOL:
+        return DIAGONAL_2Q
+    identity_top = (
+        abs(matrix[0, 0] - 1.0) < _ATOL
+        and abs(matrix[1, 1] - 1.0) < _ATOL
+        and np.max(np.abs(matrix[:2, 2:])) < _ATOL
+        and np.max(np.abs(matrix[2:, :2])) < _ATOL
+        and abs(matrix[0, 1]) < _ATOL
+        and abs(matrix[1, 0]) < _ATOL
+    )
+    if identity_top:
+        return CONTROLLED_2Q
+    if _is_swap(matrix):
+        return SWAP_2Q
+    return DENSE_2Q
+
+
+def apply_2q(
+    amplitudes: np.ndarray,
+    matrix: np.ndarray,
+    qubit_0: int,
+    qubit_1: int,
+    structure: str | None = None,
+) -> None:
+    """Apply a 4x4 unitary to ``(qubit_0, qubit_1)`` in place.
+
+    ``qubit_0`` is operand 0 and therefore the *most* significant bit of the
+    gate-matrix index (textbook convention: the CNOT control is operand 0).
+    ``structure`` is the precomputed :func:`classify_2q` tag; pass ``None``
+    to classify on the fly.
+    """
+    if structure is None:
+        structure = classify_2q(matrix)
+    q_low, q_high = (qubit_0, qubit_1) if qubit_0 < qubit_1 else (qubit_1, qubit_0)
+    view = _pair_view(amplitudes, q_low, q_high)
+
+    def block(bit_0: int, bit_1: int) -> np.ndarray:
+        if qubit_0 == q_high:
+            return view[:, bit_0, :, bit_1, :]
+        return view[:, bit_1, :, bit_0, :]
+
+    if structure == DIAGONAL_2Q:
+        # Diagonal (cz, cr, crk): scale at most four blocks, usually one.
+        for index in range(4):
+            entry = matrix[index, index]
+            if abs(entry - 1.0) > _ATOL:
+                block(index >> 1, index & 1)[...] *= entry
+        return
+    if structure == CONTROLLED_2Q:
+        # Controlled gate (cnot, controlled-U): the control = operand 0
+        # subspace with bit 1 gets the lower-right 2x2; the rest is untouched.
+        sub = matrix[2:, 2:]
+        b10, b11 = block(1, 0), block(1, 1)
+        s00, s01 = sub[0, 0], sub[0, 1]
+        s10, s11 = sub[1, 0], sub[1, 1]
+        if abs(s01) < _ATOL and abs(s10) < _ATOL:
+            if abs(s00 - 1.0) > _ATOL:
+                b10 *= s00
+            if abs(s11 - 1.0) > _ATOL:
+                b11 *= s11
+            return
+        if abs(s00) < _ATOL and abs(s11) < _ATOL:
+            swap = b10.copy()
+            np.multiply(b11, s01, out=b10)
+            np.multiply(swap, s10, out=b11)
+            return
+        new0 = s00 * b10 + s01 * b11
+        b11 *= s11
+        b11 += s10 * b10
+        b10[...] = new0
+        return
+    if structure == SWAP_2Q:
+        b01, b10 = block(0, 1), block(1, 0)
+        swap = b01.copy()
+        b01[...] = b10
+        b10[...] = swap
+        return
+    # Dense 4x4: gather the four blocks, recombine with quarter-size temps.
+    blocks = [block(0, 0), block(0, 1), block(1, 0), block(1, 1)]
+    new_blocks = []
+    for row in range(4):
+        accumulator = matrix[row, 0] * blocks[0]
+        for column in range(1, 4):
+            entry = matrix[row, column]
+            if abs(entry) > _ATOL:
+                accumulator += entry * blocks[column]
+        new_blocks.append(accumulator)
+    for old, new in zip(blocks, new_blocks):
+        old[...] = new
+
+
+def _is_swap(matrix: np.ndarray) -> bool:
+    expected = np.zeros((4, 4))
+    expected[0, 0] = expected[1, 2] = expected[2, 1] = expected[3, 3] = 1.0
+    return bool(np.max(np.abs(matrix - expected)) < _ATOL)
+
+
+# ---------------------------------------------------------------------- #
+# Bit-string keys
+# ---------------------------------------------------------------------- #
+def bitstring_keys(bit_rows: np.ndarray) -> list[str]:
+    """Render a ``(k, width)`` 0/1 matrix as histogram key strings.
+
+    The single place the key convention lives: row order is preserved and
+    column 0 is the leftmost character (callers order columns so that the
+    lowest qubit/bit index lands rightmost).
+    """
+    if bit_rows.shape[1] == 0:
+        return [""] * bit_rows.shape[0]
+    characters = (bit_rows + ord("0")).astype(np.uint8)
+    return [row.tobytes().decode("ascii") for row in characters]
+
+
+# ---------------------------------------------------------------------- #
+# Dispatch
+# ---------------------------------------------------------------------- #
+def apply_gate_inplace(
+    amplitudes: np.ndarray,
+    matrix: np.ndarray,
+    qubits: tuple[int, ...],
+    structure: str | None = None,
+) -> np.ndarray:
+    """Apply a gate through the fastest available kernel.
+
+    Returns the (possibly reallocated) amplitude array: 1- and 2-qubit gates
+    mutate in place and return the same array; larger gates fall back to the
+    generic reference pipeline and return a fresh array.  ``structure`` is
+    the precompiled :func:`classify_2q` tag for 2-qubit gates, if known.
+    """
+    k = len(qubits)
+    if k == 1:
+        apply_1q(amplitudes, matrix, qubits[0])
+        return amplitudes
+    if k == 2:
+        apply_2q(amplitudes, matrix, qubits[0], qubits[1], structure=structure)
+        return amplitudes
+    return apply_gate_generic(amplitudes, matrix, qubits)
+
+
+def apply_gate_generic(
+    amplitudes: np.ndarray, matrix: np.ndarray, qubits: tuple[int, ...]
+) -> np.ndarray:
+    """Reference gate application (axis-permutation pipeline).
+
+    Kept as the ground truth the kernels are property-tested against, and as
+    the execution path for k >= 3 qubit gates, which are rare enough that
+    specialized kernels are not worth their complexity.
+    """
+    k = len(qubits)
+    n = amplitudes.size.bit_length() - 1
+    tensor = amplitudes.reshape([2] * n)
+    axes = [n - 1 - q for q in qubits]
+    tensor = np.moveaxis(tensor, axes, range(k))
+    shape = tensor.shape
+    tensor = tensor.reshape(2 ** k, -1)
+    tensor = (matrix @ tensor).reshape(shape)
+    tensor = np.moveaxis(tensor, range(k), axes)
+    return np.ascontiguousarray(tensor.reshape(-1))

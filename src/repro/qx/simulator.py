@@ -5,6 +5,12 @@ programs) against the state-vector engine, with or without error models,
 and aggregates multi-shot measurement statistics — the role QX plays in the
 paper's full stack: the micro-architecture sends it instructions, it
 executes them, measures, and returns results.
+
+Circuits are lowered once through :mod:`repro.qx.compiled` before
+execution: the deterministic path runs a single fused-kernel evolution and
+samples the final distribution; the trajectory path re-executes the
+precompiled (unfused, so every gate keeps its error-injection point)
+program per shot without re-dispatching circuit objects.
 """
 
 from __future__ import annotations
@@ -14,14 +20,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.circuit import Circuit
-from repro.core.operations import (
-    Barrier,
-    ClassicalOperation,
-    ConditionalGate,
-    GateOperation,
-    Measurement,
-)
+from repro.core.operations import Measurement
 from repro.core.qubits import PERFECT, QubitModel
+from repro.qx import kernels
+from repro.qx.compiled import COND_GATE, GATE, MEASURE, program_for
 from repro.qx.error_models import ErrorModel, NoError, error_model_for
 from repro.qx.statevector import StateVector
 
@@ -49,10 +51,8 @@ class SimulationResult:
         """Average Z expectation of a qubit over the recorded shots."""
         if not self.classical_bits:
             raise ValueError("no per-shot classical bits recorded")
-        total = 0.0
-        for bits in self.classical_bits:
-            total += 1.0 - 2.0 * bits[qubit]
-        return total / len(self.classical_bits)
+        bits = np.asarray(self.classical_bits)
+        return float(np.mean(1.0 - 2.0 * bits[:, qubit]))
 
     def success_probability(self, target: str) -> float:
         """Fraction of shots that produced the target bit-string."""
@@ -99,81 +99,92 @@ class QXSimulator:
         if circuit.num_qubits > num_qubits:
             raise ValueError("circuit does not fit the simulator register")
 
-        needs_trajectories = _has_mid_circuit_measurement(circuit) or any(
-            isinstance(op, ConditionalGate) for op in circuit.operations
-        )
-        deterministic = isinstance(self.error_model, NoError) and not needs_trajectories
-        if deterministic:
-            return self._run_sampled(circuit, num_qubits, shots, keep_final_state, initial_state)
-        return self._run_trajectories(circuit, num_qubits, shots, keep_final_state, initial_state)
+        # Compile with fusion only when the error model permits it, so noisy
+        # runs never pay for (or cache) a fused program they cannot use.
+        noise_free = isinstance(self.error_model, NoError)
+        program = program_for(circuit, fuse=noise_free)
+        if noise_free and not program.needs_trajectories:
+            return self._run_sampled(program, num_qubits, shots, keep_final_state, initial_state)
+        if program.fused:
+            program = program_for(circuit, fuse=False)
+        return self._run_trajectories(program, num_qubits, shots, keep_final_state, initial_state)
 
     # ------------------------------------------------------------------ #
-    def _run_sampled(self, circuit, num_qubits, shots, keep_final_state, initial_state):
+    def _run_sampled(self, program, num_qubits, shots, keep_final_state, initial_state):
         state = StateVector(num_qubits, rng=self.rng)
         if initial_state is not None:
             state.set_state(initial_state)
-        for op in circuit.operations:
-            if isinstance(op, GateOperation):
-                state.apply_gate(op.gate.matrix, op.qubits)
-        measured = [op for op in circuit.operations if isinstance(op, Measurement)]
+        state.amplitudes = program.apply_unitaries(state.amplitudes)
         result = SimulationResult(num_qubits=num_qubits, shots=shots)
-        if measured:
-            qubits = tuple(op.qubit for op in measured)
-            result.counts = state.sample_counts(shots, qubits=qubits)
-            result.classical_bits = _counts_to_bits(result.counts, qubits, shots)
-        if keep_final_state or not measured:
+        if program.num_measurements:
+            # Key the histogram by *classical bit*, exactly as the trajectory
+            # path does: character j of a key is the source qubit's value for
+            # bit sorted(bits)[-1-j] (lowest bit rightmost).  With the default
+            # bit == qubit mapping this is plain ascending qubit order.
+            ordered_bits = sorted(program.bit_sources)
+            sources = tuple(program.bit_sources[bit] for bit in ordered_bits)
+            result.counts = state.sample_counts(shots, qubits=sources)
+            result.classical_bits = _counts_to_bits(result.counts, tuple(ordered_bits), shots)
+        if keep_final_state or not program.num_measurements:
             result.final_state = state.amplitudes.copy()
         return result
 
-    def _run_trajectories(self, circuit, num_qubits, shots, keep_final_state, initial_state):
+    def _run_trajectories(self, program, num_qubits, shots, keep_final_state, initial_state):
         result = SimulationResult(num_qubits=num_qubits, shots=shots)
-        for _ in range(shots):
-            state = StateVector(num_qubits, rng=self.rng)
+        num_bits = max(program.num_bits, num_qubits)
+        measured_any = program.num_measurements > 0
+        all_bits = np.zeros((shots, num_bits), dtype=np.int64)
+        error_model = self.error_model
+        rng = self.rng
+        errors = 0
+        for shot in range(shots):
+            state = StateVector(num_qubits, rng=rng)
             if initial_state is not None:
                 state.set_state(initial_state)
-            bits = [0] * max(circuit.num_bits, num_qubits)
-            measured_any = False
-            for op in circuit.operations:
-                if isinstance(op, ConditionalGate):
-                    if bits[op.condition_bit]:
-                        state.apply_gate(op.gate.matrix, op.qubits)
-                        result.errors_injected += self.error_model.apply_after_gate(
-                            state, op.qubits, op.duration, self.rng
-                        )
-                elif isinstance(op, GateOperation):
-                    state.apply_gate(op.gate.matrix, op.qubits)
-                    result.errors_injected += self.error_model.apply_after_gate(
-                        state, op.qubits, op.duration, self.rng
+            bits = all_bits[shot]
+            for op in program.ops:
+                kind = op.kind
+                if kind == GATE:
+                    state.amplitudes = kernels.apply_gate_inplace(
+                        state.amplitudes, op.matrix, op.qubits, structure=op.structure
                     )
-                elif isinstance(op, Measurement):
-                    outcome = state.measure(op.qubit)
-                    outcome = self.error_model.flip_measurement(outcome, self.rng)
+                    errors += error_model.apply_after_gate(state, op.qubits, op.duration, rng)
+                elif kind == MEASURE:
+                    outcome = state.measure(op.qubits[0])
+                    outcome = error_model.flip_measurement(outcome, rng)
                     bits[op.bit] = outcome
-                    measured_any = True
-                elif isinstance(op, (Barrier, ClassicalOperation)):
-                    continue
-            if measured_any:
-                measured_bits = [
-                    op.bit for op in circuit.operations if isinstance(op, Measurement)
-                ]
-                ordered = sorted(set(measured_bits))
-                key = "".join(str(bits[b]) for b in reversed(ordered))
-                result.counts[key] = result.counts.get(key, 0) + 1
-                result.classical_bits.append(list(bits))
-            if keep_final_state:
+                elif kind == COND_GATE:
+                    if bits[op.condition_bit]:
+                        state.amplitudes = kernels.apply_gate_inplace(
+                            state.amplitudes, op.matrix, op.qubits, structure=op.structure
+                        )
+                        errors += error_model.apply_after_gate(
+                            state, op.qubits, op.duration, rng
+                        )
+            if keep_final_state and shot == shots - 1:
                 result.final_state = state.amplitudes.copy()
+        result.errors_injected = errors
+        if measured_any:
+            ordered = program.measured_bits
+            columns = all_bits[:, list(reversed(ordered))]
+            # Unique-row histogram: no integer packing, so the width is not
+            # limited by the 63 value bits of int64.
+            rows, frequencies = np.unique(columns, axis=0, return_counts=True)
+            result.counts = {
+                key: int(frequency)
+                for key, frequency in zip(kernels.bitstring_keys(rows), frequencies)
+            }
+            result.classical_bits = all_bits.tolist()
         return result
 
     # ------------------------------------------------------------------ #
     def statevector(self, circuit: Circuit) -> np.ndarray:
         """Final state vector of a measurement-free circuit (perfect qubits)."""
+        program = program_for(circuit, fuse=True)
+        if program.num_measurements:
+            raise ValueError("statevector() requires a measurement-free circuit")
         state = StateVector(circuit.num_qubits, rng=self.rng)
-        for op in circuit.operations:
-            if isinstance(op, Measurement):
-                raise ValueError("statevector() requires a measurement-free circuit")
-            if isinstance(op, GateOperation):
-                state.apply_gate(op.gate.matrix, op.qubits)
-        return state.amplitudes
+        return program.apply_unitaries(state.amplitudes)
 
     def fidelity_with_ideal(self, circuit: Circuit, shots: int = 1) -> float:
         """Average fidelity of noisy trajectories against the ideal final state.
@@ -181,27 +192,25 @@ class QXSimulator:
         Used by the error-model benchmarks (experiment E5) to quantify how a
         given physical error rate degrades a circuit of a given depth.
         """
-        ideal = QXSimulator(seed=0).statevector(_strip_measurements(circuit))
-        total = 0.0
         stripped = _strip_measurements(circuit)
+        ideal = QXSimulator(seed=0).statevector(stripped)
+        program = program_for(stripped, fuse=False)
+        total = 0.0
         for _ in range(shots):
             state = StateVector(stripped.num_qubits, rng=self.rng)
-            for op in stripped.operations:
-                if isinstance(op, GateOperation):
-                    state.apply_gate(op.gate.matrix, op.qubits)
+            for op in program.ops:
+                if op.kind == GATE:
+                    state.amplitudes = kernels.apply_gate_inplace(
+                        state.amplitudes, op.matrix, op.qubits, structure=op.structure
+                    )
                     self.error_model.apply_after_gate(state, op.qubits, op.duration, self.rng)
             total += float(abs(np.vdot(ideal, state.amplitudes)) ** 2)
         return total / shots
 
 
 def _has_mid_circuit_measurement(circuit: Circuit) -> bool:
-    seen_measurement_qubits: set[int] = set()
-    for op in circuit.operations:
-        if isinstance(op, Measurement):
-            seen_measurement_qubits.add(op.qubit)
-        elif isinstance(op, GateOperation) and seen_measurement_qubits.intersection(op.qubits):
-            return True
-    return False
+    """Kept for API compatibility; the compiled program caches this flag."""
+    return program_for(circuit, fuse=True).has_mid_circuit_measurement
 
 
 def _strip_measurements(circuit: Circuit) -> Circuit:
@@ -214,11 +223,17 @@ def _strip_measurements(circuit: Circuit) -> Circuit:
 
 def _counts_to_bits(counts: dict[str, int], qubits: tuple[int, ...], shots: int) -> list[list[int]]:
     """Expand a histogram into per-shot classical bit lists (qubit-indexed)."""
-    all_bits: list[list[int]] = []
-    size = max(qubits) + 1 if qubits else 0
-    for bitstring, count in counts.items():
-        bits = [0] * size
-        for position, qubit in enumerate(reversed(qubits)):
-            bits[qubit] = int(bitstring[len(bitstring) - 1 - position])
-        all_bits.extend([list(bits)] * count)
-    return all_bits[:shots]
+    if not counts:
+        return []
+    if not qubits:
+        return [[] for _ in range(min(shots, sum(counts.values())))]
+    size = max(qubits) + 1
+    keys = list(counts)
+    repeats = np.fromiter((counts[key] for key in keys), dtype=np.int64, count=len(keys))
+    characters = np.frombuffer("".join(keys).encode("ascii"), dtype=np.uint8)
+    bit_rows = (characters - ord("0")).reshape(len(keys), len(qubits)).astype(np.int64)
+    rows = np.zeros((len(keys), size), dtype=np.int64)
+    # Column j of the bit-string corresponds to qubit reversed(qubits)[j];
+    # duplicate targets resolve to the last occurrence, as in a per-entry loop.
+    rows[:, list(reversed(qubits))] = bit_rows
+    return np.repeat(rows, repeats, axis=0)[:shots].tolist()

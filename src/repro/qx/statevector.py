@@ -1,10 +1,12 @@
 """Dense state-vector engine.
 
 The engine stores the full ``2**n`` amplitude vector (qubit 0 is the least
-significant bit of the basis index) and applies gates by reshaping the
-vector so the target axes can be contracted with the gate matrix — the same
-technique QX and most state-vector simulators use, which keeps the cost of a
-k-qubit gate at ``O(2**n * 2**k)`` instead of building the full operator.
+significant bit of the basis index).  One- and two-qubit gates are applied
+in place by the stride kernels of :mod:`repro.qx.kernels`; larger gates use
+the generic axis-permutation contraction, which keeps the cost of a k-qubit
+gate at ``O(2**n * 2**k)`` instead of building the full operator.  The
+amplitude array is always kept C-contiguous — the invariant the in-place
+kernels rely on.
 """
 
 from __future__ import annotations
@@ -12,6 +14,15 @@ from __future__ import annotations
 import math
 
 import numpy as np
+
+from repro.qx import kernels
+
+_PAULI_MATRICES = {
+    "i": np.eye(2, dtype=complex),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
 
 
 class StateVector:
@@ -78,8 +89,7 @@ class StateVector:
     # ------------------------------------------------------------------ #
     # Gate application
     # ------------------------------------------------------------------ #
-    def apply_gate(self, matrix: np.ndarray, qubits: tuple[int, ...]) -> None:
-        """Apply a ``2**k x 2**k`` unitary to the listed qubits."""
+    def _check_gate_operands(self, matrix: np.ndarray, qubits: tuple[int, ...]) -> None:
         k = len(qubits)
         if matrix.shape != (2 ** k, 2 ** k):
             raise ValueError("gate matrix dimension does not match qubit count")
@@ -89,36 +99,38 @@ class StateVector:
         if len(set(qubits)) != k:
             raise ValueError("duplicate qubits in gate operands")
 
-        n = self.num_qubits
+    def apply_gate(self, matrix: np.ndarray, qubits: tuple[int, ...]) -> None:
+        """Apply a ``2**k x 2**k`` unitary to the listed qubits.
+
+        One- and two-qubit gates go through the in-place stride kernels of
+        :mod:`repro.qx.kernels`; larger gates use the generic reference
+        pipeline (see :meth:`apply_gate_generic`).
+        """
+        self._check_gate_operands(matrix, qubits)
+        self.amplitudes = kernels.apply_gate_inplace(self.amplitudes, matrix, tuple(qubits))
+
+    def apply_gate_generic(self, matrix: np.ndarray, qubits: tuple[int, ...]) -> None:
+        """Reference gate application via axis permutation and matmul.
+
+        Kept as the ground-truth implementation the fast kernels are
+        property-tested against; the fast path must match it bit-for-bit up
+        to floating-point reassociation.
+        """
+        self._check_gate_operands(matrix, qubits)
         # View the amplitude vector as an n-dimensional tensor with axis i
         # corresponding to qubit (n-1-i) — i.e. numpy's most-significant-first
-        # ordering.  Qubit q therefore lives on axis (n-1-q).
-        tensor = self.amplitudes.reshape([2] * n)
-        axes = [n - 1 - q for q in qubits]
-        # Move target axes to the front (operand 0 first), contract with the
-        # gate matrix, and move them back.  The gate-matrix convention is
-        # that operand 0 is the most significant bit of the matrix index
-        # (textbook ordering, e.g. CNOT control is the first operand), which
-        # is exactly the ordering of the front axes after the move.
-        tensor = np.moveaxis(tensor, axes, range(k))
-        shape = tensor.shape
-        tensor = tensor.reshape(2 ** k, -1)
-        tensor = (matrix @ tensor).reshape(shape)
-        tensor = np.moveaxis(tensor, range(k), axes)
-        self.amplitudes = np.ascontiguousarray(tensor.reshape(-1))
+        # ordering.  Qubit q lives on axis (n-1-q); target axes move to the
+        # front (operand 0 first, matching the textbook convention that
+        # operand 0 is the most significant bit of the gate-matrix index),
+        # are contracted with the gate matrix, and move back.
+        self.amplitudes = kernels.apply_gate_generic(self.amplitudes, matrix, tuple(qubits))
 
     def apply_pauli(self, pauli: str, qubit: int) -> None:
         """Apply a single Pauli error/gate by name ('i', 'x', 'y' or 'z')."""
-        matrices = {
-            "i": np.eye(2, dtype=complex),
-            "x": np.array([[0, 1], [1, 0]], dtype=complex),
-            "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
-            "z": np.array([[1, 0], [0, -1]], dtype=complex),
-        }
-        if pauli not in matrices:
+        if pauli not in _PAULI_MATRICES:
             raise ValueError(f"unknown Pauli {pauli!r}")
         if pauli != "i":
-            self.apply_gate(matrices[pauli], (qubit,))
+            self.apply_gate(_PAULI_MATRICES[pauli], (qubit,))
 
     # ------------------------------------------------------------------ #
     # Measurement
@@ -137,39 +149,59 @@ class StateVector:
     def probability_of_one(self, qubit: int) -> float:
         if not 0 <= qubit < self.num_qubits:
             raise IndexError(f"qubit {qubit} out of range")
-        indices = np.arange(self.amplitudes.size)
-        mask = (indices >> qubit) & 1 == 1
-        return float(np.sum(np.abs(self.amplitudes[mask]) ** 2))
+        ones = kernels.qubit_view(self.amplitudes, qubit)[:, 1, :]
+        return float(np.vdot(ones, ones).real)
 
     def collapse(self, qubit: int, outcome: int) -> None:
-        """Project onto ``|outcome>`` of ``qubit`` and renormalise."""
-        indices = np.arange(self.amplitudes.size)
-        keep = ((indices >> qubit) & 1) == outcome
-        projected = np.where(keep, self.amplitudes, 0.0)
-        norm = np.linalg.norm(projected)
+        """Project onto ``|outcome>`` of ``qubit`` and renormalise (in place)."""
+        if outcome not in (0, 1):
+            raise ValueError(f"measurement outcome must be 0 or 1, got {outcome}")
+        view = kernels.qubit_view(self.amplitudes, qubit)
+        kept = view[:, outcome, :]
+        norm = math.sqrt(float(np.vdot(kept, kept).real))
         if norm < 1e-12:
             raise ValueError(
                 f"cannot collapse qubit {qubit} to {outcome}: zero probability"
             )
-        self.amplitudes = projected / norm
+        view[:, 1 - outcome, :] = 0.0
+        self.amplitudes /= norm
 
     def measure_all(self) -> list[int]:
-        """Measure every qubit; returns a list of bits indexed by qubit."""
-        return [self.measure(q) for q in range(self.num_qubits)]
+        """Measure every qubit; returns a list of bits indexed by qubit.
+
+        Samples one basis index from the full distribution and collapses to
+        it — equivalent in distribution to n sequential single-qubit
+        measurements, but a single O(2**n) pass instead of n of them.
+        """
+        probs = self.probabilities()
+        cumulative = np.cumsum(probs)
+        draw = self.rng.random() * cumulative[-1]
+        outcome = int(np.searchsorted(cumulative, draw, side="right"))
+        outcome = min(outcome, probs.size - 1)
+        self.set_basis_state(outcome)
+        return [(outcome >> q) & 1 for q in range(self.num_qubits)]
 
     def sample_counts(self, shots: int, qubits: tuple[int, ...] | None = None) -> dict[str, int]:
         """Sample measurement outcomes without collapsing the live state.
 
         Returns a histogram keyed by bit-string with qubit 0 as the rightmost
-        character (cQASM display convention).
+        character (cQASM display convention).  The histogram is aggregated
+        over the *unique* sampled basis indices (``np.unique``), so the cost
+        is independent of the shot count beyond the initial draw.
         """
         probs = self.probabilities()
         outcomes = self.rng.choice(len(probs), size=shots, p=probs / probs.sum())
         targets = qubits if qubits is not None else tuple(range(self.num_qubits))
+        if not targets:
+            return {"": shots}
+        values, frequencies = np.unique(outcomes, return_counts=True)
+        shifts = np.array(tuple(reversed(targets)))
+        bit_rows = (values[:, None] >> shifts[None, :]) & 1
         counts: dict[str, int] = {}
-        for value in outcomes:
-            bits = "".join(str((int(value) >> q) & 1) for q in reversed(targets))
-            counts[bits] = counts.get(bits, 0) + 1
+        for key, frequency in zip(kernels.bitstring_keys(bit_rows), frequencies):
+            # Distinct basis indices can share a key when targets are a
+            # strict subset of the register.
+            counts[key] = counts.get(key, 0) + int(frequency)
         return counts
 
     def expectation_z(self, qubit: int) -> float:
@@ -178,10 +210,7 @@ class StateVector:
 
     def expectation_zz(self, qubit_a: int, qubit_b: int) -> float:
         """Expectation value of Z_a Z_b, used by QAOA/Ising energy evaluation."""
-        indices = np.arange(self.amplitudes.size)
-        parity = ((indices >> qubit_a) & 1) ^ ((indices >> qubit_b) & 1)
-        signs = 1.0 - 2.0 * parity
-        return float(np.sum(signs * np.abs(self.amplitudes) ** 2))
+        return kernels.pair_parity_expectation(self.amplitudes, qubit_a, qubit_b)
 
 
 def zero_state(num_qubits: int) -> np.ndarray:

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
+from helpers import assert_equivalent_up_to_phase  # noqa: F401  (re-export)
 from repro.core.circuit import Circuit, bell_pair_circuit, ghz_circuit, qft_circuit, random_circuit
 from repro.openql.platform import (
     perfect_platform,
@@ -62,12 +62,3 @@ def realistic_9q_platform():
 @pytest.fixture
 def ideal_simulator() -> QXSimulator:
     return QXSimulator(seed=1234)
-
-
-def assert_equivalent_up_to_phase(matrix_a: np.ndarray, matrix_b: np.ndarray, atol: float = 1e-8):
-    """Assert two unitaries are equal up to a global phase."""
-    index = np.unravel_index(np.argmax(np.abs(matrix_b)), matrix_b.shape)
-    assert abs(matrix_b[index]) > atol, "reference matrix is numerically zero"
-    phase = matrix_a[index] / matrix_b[index]
-    assert abs(abs(phase) - 1.0) < 1e-6, "matrices differ by more than a phase"
-    np.testing.assert_allclose(matrix_a, phase * matrix_b, atol=atol)

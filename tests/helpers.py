@@ -1,0 +1,20 @@
+"""Importable assertion helpers shared by the unit tests.
+
+Kept out of ``conftest.py`` on purpose: pytest imports every ``conftest.py``
+under a bare ``conftest`` module name, so ``from conftest import ...`` in a
+test module resolves to whichever conftest happens to land on ``sys.path``
+first (historically ``benchmarks/conftest.py``, breaking collection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def assert_equivalent_up_to_phase(matrix_a: np.ndarray, matrix_b: np.ndarray, atol: float = 1e-8):
+    """Assert two unitaries are equal up to a global phase."""
+    index = np.unravel_index(np.argmax(np.abs(matrix_b)), matrix_b.shape)
+    assert abs(matrix_b[index]) > atol, "reference matrix is numerically zero"
+    phase = matrix_a[index] / matrix_b[index]
+    assert abs(abs(phase) - 1.0) < 1e-6, "matrices differ by more than a phase"
+    np.testing.assert_allclose(matrix_a, phase * matrix_b, atol=atol)

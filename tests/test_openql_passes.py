@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from conftest import assert_equivalent_up_to_phase
+from helpers import assert_equivalent_up_to_phase
 from repro.core.circuit import Circuit, qft_circuit, random_circuit
 from repro.openql.passes.decomposition import DecompositionPass
 from repro.openql.passes.mapping_pass import MappingPass
