@@ -7,6 +7,9 @@ the experimental track is the qubit model — perfect qubits return the ideal
 answer, realistic qubits degrade it.
 """
 
+import tempfile
+import time
+
 import pytest
 
 from bench_utils import print_table, run_once
@@ -15,6 +18,8 @@ from repro.openql.compiler import Compiler
 from repro.openql.platform import perfect_platform, realistic_platform
 from repro.openql.program import Program
 from repro.qx.simulator import QXSimulator
+from repro.runtime import CircuitSpec, ExperimentRunner, ExperimentSpec, PlatformSpec
+from repro.runtime.runner import available_workers
 
 
 def _build_program(platform, num_qubits):
@@ -104,3 +109,60 @@ def test_full_stack_shot_scaling_on_compiled_path(benchmark):
         assert set(counts) <= {"0" * 16, "1" * 16}
     # 10000 shots must not cost anywhere near 10000x one shot.
     assert timings[10_000][0] < timings[1][0] * 50
+
+
+def test_runner_parallel_sweep_bit_identical_and_scales(benchmark):
+    """The parallel experiment runtime on the 16-qubit full-stack workload.
+
+    A 4-point error-rate sweep of the 16-qubit GHZ experiment (OpenQL
+    compile -> mapping -> error model -> QX trajectories) is executed twice
+    through :class:`ExperimentRunner`: serially (1 worker) and on a 4-worker
+    process pool.  Per-shard seed sequences are derived from
+    ``(seed, point, shard)`` independently of the worker count, so the
+    merged histograms must match bit for bit; with >= 4 usable cores the
+    pool run must be at least 2x faster than serial.
+    """
+    spec = ExperimentSpec(
+        name="fullstack-16q-sweep",
+        circuit=CircuitSpec(builder="ghz", kwargs={"num_qubits": 16}),
+        platform=PlatformSpec(factory="realistic", kwargs={"num_qubits": 16}),
+        shots=48,
+        seed=7,
+        sweep={"platform.error_rate": [1e-4, 1e-3, 1e-2, 5e-2]},
+    )
+
+    def sweep():
+        with tempfile.TemporaryDirectory() as cache_dir:
+            # Warm the artifact cache first so both timed runs plan from
+            # cache hits and the comparison isolates execution parallelism.
+            ExperimentRunner(spec, workers=1, cache_dir=cache_dir).plan()
+            start = time.perf_counter()
+            serial = ExperimentRunner(spec, workers=1, cache_dir=cache_dir).run()
+            serial_s = time.perf_counter() - start
+            start = time.perf_counter()
+            parallel = ExperimentRunner(spec, workers=4, cache_dir=cache_dir).run()
+            parallel_s = time.perf_counter() - start
+        return serial, serial_s, parallel, parallel_s
+
+    serial, serial_s, parallel, parallel_s = run_once(benchmark, sweep)
+    speedup = serial_s / parallel_s
+    print_table(
+        "Parallel runtime: 16-qubit full-stack sweep, serial vs 4 workers",
+        ["error_rate", "shots", "identical_counts", "ghz_success"],
+        [
+            (
+                point.params["platform.error_rate"],
+                point.shots,
+                point.counts == parallel.points[point.index].counts,
+                round(point.success_probability("0" * 16, "1" * 16), 3),
+            )
+            for point in serial.points
+        ],
+    )
+    print(f"serial {serial_s:.2f}s  4 workers {parallel_s:.2f}s  speedup {speedup:.2f}x")
+
+    assert [p.counts for p in serial.points] == [p.counts for p in parallel.points]
+    assert all(point.shots == 48 for point in serial.points)
+    # The parallel-speedup contract needs real cores; assert it where they exist.
+    if available_workers() >= 4:
+        assert speedup >= 2.0

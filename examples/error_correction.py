@@ -8,6 +8,8 @@ matching decoder, swept over physical error rates and code distances.
 Run with:  python examples/error_correction.py
 """
 
+import sys
+
 from repro.qec.codes import RepetitionCode, ShorCode, SteaneCode
 from repro.qec.surface_code import PlanarSurfaceCode
 
@@ -25,6 +27,7 @@ def small_codes():
     worst = min(shor.recovery_fidelity(pauli, qubit) for pauli in "xyz" for qubit in range(9))
     print(f"  Shor-9 code: worst-case recovery fidelity over all single-qubit "
           f"Pauli errors = {worst:.3f}")
+    return worst
 
 
 def surface_code():
@@ -33,20 +36,30 @@ def surface_code():
         code = PlanarSurfaceCode(distance)
         print(f"  distance {distance}: {code.num_data} data + {code.num_ancilla} ancilla "
               f"= {code.num_physical_qubits} physical qubits per logical qubit")
+    rates = {}
     for p in (0.005, 0.02, 0.06):
         d3 = PlanarSurfaceCode(3).run_memory_experiment(p, trials=300, seed=4)
         d5 = PlanarSurfaceCode(5).run_memory_experiment(p, trials=300, seed=5)
+        rates[p] = (d3.logical_error_rate, d5.logical_error_rate)
         print(f"  p={p:<6}: logical error rate d=3 {d3.logical_error_rate:.3f} "
               f"(defects/round {d3.defects_per_round:.1f}),  "
               f"d=5 {d5.logical_error_rate:.3f} "
               f"(defects/round {d5.defects_per_round:.1f})")
     print("  (below threshold the larger distance wins; above it, it loses)")
+    return rates
 
 
-def main():
-    small_codes()
-    surface_code()
+def main() -> int:
+    worst = small_codes()
+    rates = surface_code()
+    if worst < 0.99:
+        print("FAIL: Shor-9 should recover every single-qubit Pauli error", file=sys.stderr)
+        return 1
+    if not rates[0.005][0] < rates[0.06][0]:
+        print("FAIL: logical error rate should grow with the physical rate", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -9,6 +9,8 @@ claim rests on.
 Run with:  python examples/genome_sequencing.py
 """
 
+import sys
+
 from repro.apps.qgs.classical_alignment import ClassicalAligner, IndexedAligner
 from repro.apps.qgs.dna import ArtificialGenome
 from repro.apps.qgs.microarchitecture import QGSMicroArchitecture
@@ -20,7 +22,7 @@ NUM_READS = 15
 SEQUENCING_ERROR_RATE = 0.05
 
 
-def main():
+def main() -> int:
     genome = ArtificialGenome(GENOME_LENGTH, seed=7)
     print("=== Artificial genome (statistically realistic, reduced size) ===")
     print(f"  sequence      : {genome.sequence}")
@@ -66,6 +68,14 @@ def main():
     print(f"\nQuery-count advantage of the quantum path: {speedup:.1f}x "
           f"(sqrt(N) Grover iterations vs ~N/2 classical probes per read)")
 
+    if report.accuracy < 0.5:
+        print("FAIL: quantum aligner accuracy collapsed", file=sys.stderr)
+        return 1
+    if speedup <= 1.0:
+        print("FAIL: Grover path should need fewer oracle queries", file=sys.stderr)
+        return 1
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -7,57 +7,88 @@ results back into the instruction stream at run time — the "fast feedback
 between the quantum accelerator and the real-time circuit/instruction
 generator" of Section 3.2.
 
+Both protocol variants are expressed as declarative experiments (the cQASM
+text *is* the circuit source of the spec) and executed by the parallel
+:class:`~repro.runtime.runner.ExperimentRunner`; feedback circuits force
+the per-shot trajectory path, which the runner shards across workers with
+deterministic seeds.
+
 Run with:  python examples/hybrid_teleportation.py
 """
 
 import math
+import sys
+import tempfile
 
 from repro.core.circuit import Circuit
 from repro.cqasm.writer import circuit_to_cqasm
-from repro.qx.simulator import QXSimulator
+from repro.runtime import CircuitSpec, ExperimentRunner, ExperimentSpec
 
 
-def teleportation_circuit(angle: float) -> Circuit:
+def teleportation_circuit(angle: float, feedback: bool = True) -> Circuit:
     """Teleport Ry(angle)|0> from qubit 0 to qubit 2."""
-    circuit = Circuit(3, "teleport")
-    circuit.ry(0, angle)                 # state to send
-    circuit.h(1).cnot(1, 2)              # shared Bell pair
-    circuit.cnot(0, 1).h(0)              # Bell-basis measurement on (q0, q1)
+    circuit = Circuit(3, "teleport" if feedback else "no_feedback")
+    circuit.ry(0, angle)                     # state to send
+    circuit.h(1).cnot(1, 2)                  # shared Bell pair
+    circuit.cnot(0, 1).h(0)                  # Bell-basis measurement on (q0, q1)
     circuit.measure(0)
     circuit.measure(1)
-    circuit.conditional_gate("x", 1, 2)  # run-time correction: X if bit 1
-    circuit.conditional_gate("z", 0, 2)  # run-time correction: Z if bit 0
+    if feedback:
+        circuit.conditional_gate("x", 1, 2)  # run-time correction: X if bit 1
+        circuit.conditional_gate("z", 0, 2)  # run-time correction: Z if bit 0
     circuit.measure(2)
     return circuit
 
 
-def main():
+def received_p1(point) -> float:
+    """P(q2 = 1) from a merged histogram (bit 2 is the leftmost character)."""
+    shots = sum(point.counts.values())
+    ones = sum(count for bits, count in point.counts.items() if bits[0] == "1")
+    return ones / shots
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-teleport-") as cache_dir:
+        return run_protocol(cache_dir)
+
+
+def run_protocol(cache_dir: str) -> int:
     angle = 2.0 * math.pi / 3.0
     expected_p1 = math.sin(angle / 2.0) ** 2
-    circuit = teleportation_circuit(angle)
+    shots = 2000
 
+    circuit = teleportation_circuit(angle)
     print("=== Hybrid cQASM with binary-controlled corrections ===")
     print(circuit_to_cqasm(circuit))
 
-    shots = 2000
-    result = QXSimulator(seed=5).run(circuit, shots=shots)
-    measured_p1 = sum(bits[2] for bits in result.classical_bits) / shots
+    def run(source: Circuit, seed: int):
+        spec = ExperimentSpec(
+            name=source.name,
+            circuit=CircuitSpec(cqasm=circuit_to_cqasm(source), measure="asis"),
+            shots=shots,
+            seed=seed,
+        )
+        return ExperimentRunner(spec, cache_dir=cache_dir).run().points[0]
+
+    with_feedback = run(circuit, seed=5)
+    measured_p1 = received_p1(with_feedback)
     print(f"teleporting Ry({angle:.3f})|0>  ->  P(|1>) expected {expected_p1:.3f}, "
           f"measured {measured_p1:.3f} over {shots} shots")
 
     # Without the conditional corrections the received qubit is maximally mixed.
-    broken = Circuit(3, "no_feedback")
-    broken.ry(0, angle)
-    broken.h(1).cnot(1, 2)
-    broken.cnot(0, 1).h(0)
-    broken.measure(0)
-    broken.measure(1)
-    broken.measure(2)
-    broken_result = QXSimulator(seed=6).run(broken, shots=shots)
-    broken_p1 = sum(bits[2] for bits in broken_result.classical_bits) / shots
+    broken = run(teleportation_circuit(angle, feedback=False), seed=6)
+    broken_p1 = received_p1(broken)
     print(f"without run-time feedback          ->  P(|1>) measured {broken_p1:.3f} "
           f"(maximally mixed, protocol fails)")
 
+    if abs(measured_p1 - expected_p1) > 0.05:
+        print("FAIL: teleported state does not match the sent state", file=sys.stderr)
+        return 1
+    if abs(broken_p1 - 0.5) > 0.08:
+        print("FAIL: feedback-free control run should be maximally mixed", file=sys.stderr)
+        return 1
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

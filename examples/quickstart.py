@@ -1,72 +1,84 @@
-"""Quickstart: compile and execute a program through the full stack.
+"""Quickstart: declare and execute a full-stack experiment.
 
-Builds a small OpenQL-style program (Bell pair + GHZ kernel), compiles it
-for a perfect-qubit platform, prints the emitted cQASM, executes it on the
-QX simulator, and then repeats the execution with realistic qubits to show
-the perfect/realistic split of the paper.
+Expresses the paper's two tracks as declarative
+:class:`~repro.runtime.spec.ExperimentSpec`s and hands them to the parallel
+:class:`~repro.runtime.runner.ExperimentRunner` — circuit builder ->
+OpenQL-style compilation -> mapping -> error model -> QX execution ->
+merged histograms — instead of hand-wiring the layers:
+
+1. application-development mode: perfect qubits (Figure 2b);
+2. architecture-exploration mode: realistic qubits swept over error rates
+   (Figure 2a).
+
+The runner shards shots across worker processes with deterministic
+per-shard seeds, so the histograms below are reproducible bit-for-bit at
+any worker count.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.cqasm.parser import cqasm_to_circuit
-from repro.openql.compiler import Compiler
-from repro.openql.platform import perfect_platform, realistic_platform
-from repro.openql.program import Program
-from repro.qx.simulator import QXSimulator
+import sys
+import tempfile
+
+from repro.runtime import CircuitSpec, ExperimentRunner, ExperimentSpec, PlatformSpec
 
 
-def build_program(platform, num_qubits=3):
-    program = Program("quickstart", platform, num_qubits=num_qubits)
-
-    bell = program.new_kernel("bell")
-    bell.h(0).cnot(0, 1)
-    bell.measure(0).measure(1)
-
-    ghz = program.new_kernel("ghz")
-    ghz.h(0)
-    for qubit in range(1, num_qubits):
-        ghz.cnot(0, qubit)
-    ghz.measure_all()
-
-    return program
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-quickstart-") as cache_dir:
+        return run_tracks(cache_dir)
 
 
-def main():
+def run_tracks(cache_dir: str) -> int:
     # ---------------------------------------------------------------- #
     # 1. Application development mode: perfect qubits (Figure 2b).
     # ---------------------------------------------------------------- #
-    platform = perfect_platform(3)
-    program = build_program(platform)
-    compiled = Compiler().compile(program)
-
-    print("=== Generated cQASM ===")
-    print(compiled.cqasm)
-
-    circuit = cqasm_to_circuit(compiled.cqasm)
-    result = QXSimulator(seed=1).run(circuit, shots=500)
-    print("=== Perfect-qubit execution (500 shots) ===")
-    for outcome, count in sorted(result.counts.items(), key=lambda kv: -kv[1]):
-        print(f"  {outcome}: {count}")
-
-    # ---------------------------------------------------------------- #
-    # 2. Architecture exploration mode: realistic qubits (Figure 2a).
-    # ---------------------------------------------------------------- #
-    noisy_platform = realistic_platform(4, error_rate=1e-2)
-    noisy_program = build_program(noisy_platform, num_qubits=3)
-    noisy_compiled = Compiler().compile(noisy_program)
-    noisy_circuit = noisy_compiled.flat_circuit()
-
-    noisy_result = QXSimulator(qubit_model=noisy_platform.qubit_model, seed=2).run(
-        noisy_circuit, shots=500
+    perfect = ExperimentSpec(
+        name="quickstart-perfect",
+        circuit=CircuitSpec(builder="ghz", kwargs={"num_qubits": 3}),
+        platform=PlatformSpec(factory="perfect"),
+        shots=500,
+        seed=1,
     )
-    print("\n=== Realistic-qubit execution (error rate 1e-2, 500 shots) ===")
-    for outcome, count in sorted(noisy_result.counts.items(), key=lambda kv: -kv[1])[:6]:
+    result = ExperimentRunner(perfect, cache_dir=cache_dir).run()
+    point = result.points[0]
+    print("=== Perfect-qubit execution (500 shots) ===")
+    for outcome, count in sorted(point.counts.items(), key=lambda kv: -kv[1]):
         print(f"  {outcome}: {count}")
+    if set(point.counts) - {"000", "111"}:
+        print("FAIL: perfect GHZ produced outcomes other than |000> / |111>", file=sys.stderr)
+        return 1
+    if sum(point.counts.values()) != 500:
+        print("FAIL: merged histogram lost shots", file=sys.stderr)
+        return 1
 
-    print("\nCompiler statistics:")
-    for pass_name in ("decomposition", "optimization", "mapping", "scheduling"):
-        print(f"  {pass_name}: {compiled.statistics_for(pass_name)}")
+    # ---------------------------------------------------------------- #
+    # 2. Architecture exploration mode: realistic qubits swept over the
+    #    physical error rate (Figure 2a) — one spec, four points.
+    # ---------------------------------------------------------------- #
+    noisy = ExperimentSpec(
+        name="quickstart-realistic",
+        circuit=CircuitSpec(builder="ghz", kwargs={"num_qubits": 3}),
+        platform=PlatformSpec(factory="realistic", kwargs={"num_qubits": 4}),
+        shots=500,
+        seed=2,
+        sweep={"platform.error_rate": [1e-4, 1e-3, 1e-2, 5e-2]},
+    )
+    noisy_result = ExperimentRunner(noisy, cache_dir=cache_dir).run()
+    print("\n=== Realistic-qubit execution: GHZ success vs error rate (500 shots) ===")
+    success = {}
+    for point in noisy_result.points:
+        rate = point.params["platform.error_rate"]
+        success[rate] = point.success_probability("000", "111")
+        print(f"  error rate {rate:<7g} ghz success {success[rate]:.3f}   "
+              f"errors injected {point.errors_injected}")
+    if not success[1e-4] > success[5e-2]:
+        print("FAIL: noise did not degrade the GHZ state", file=sys.stderr)
+        return 1
+
+    print(f"\nartifact cache ({cache_dir}): {noisy_result.cache_stats}")
+    print(f"workers used: {noisy_result.workers}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

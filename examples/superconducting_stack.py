@@ -9,6 +9,8 @@ swapping only the platform configuration.
 Run with:  python examples/superconducting_stack.py
 """
 
+import sys
+
 from repro.algorithms.randomized_benchmarking import RandomizedBenchmarking
 from repro.eqasm.assembler import EqasmAssembler
 from repro.eqasm.timing import TimingAnalyzer
@@ -57,15 +59,22 @@ def show_eqasm_listing(platform):
     print(program.to_text())
 
 
-def main():
+def main() -> int:
     transmon = superconducting_platform()
     show_eqasm_listing(transmon)
-    run_rb_on(transmon)
+    transmon_survival = run_rb_on(transmon)
 
     # Retarget the same flow to the semiconducting platform: only the platform
     # configuration changes (Section 3.1's key demonstration).
-    run_rb_on(spin_qubit_platform(), lengths=(1, 2, 4, 8))
+    spin_survival = run_rb_on(spin_qubit_platform(), lengths=(1, 2, 4, 8))
+
+    for name, survival in (("transmon", transmon_survival), ("spin", spin_survival)):
+        if survival[0][1] < survival[-1][1]:
+            print(f"FAIL: {name} RB survival should decay with sequence length",
+                  file=sys.stderr)
+            return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -10,6 +10,8 @@ Chimera-connected annealer and the digital annealer.
 Run with:  python examples/tsp_optimization.py
 """
 
+import sys
+
 from repro.annealing.chimera import dwave_2000q_graph
 from repro.annealing.digital_annealer import DigitalAnnealer
 from repro.annealing.embedding import chimera_clique_embedding
@@ -33,7 +35,7 @@ def describe(solution, tsp):
     return f"cost {solution.cost:.3f}  [{tour_names}]{flag}"
 
 
-def main():
+def main() -> int:
     tsp = netherlands_tsp()
     qubo = tsp_to_qubo(tsp)
     print("=== Four-city Netherlands TSP (Figure 9) ===")
@@ -65,14 +67,25 @@ def main():
     print("\n=== Hardware capacity (Section 3.3) ===")
     dwave = dwave_2000q_graph()
     digital_annealer = DigitalAnnealer(num_nodes=8192)
+    capacity = {}
     for cities in (4, 8, 9, 10, 90, 91):
         variables = cities * cities
         on_chimera = chimera_clique_embedding(dwave, variables).success
         on_digital = variables <= digital_annealer.num_nodes
+        capacity[cities] = (on_chimera, on_digital)
         print(f"  {cities:>3} cities ({variables:>5} qubits): "
               f"D-Wave 2000Q {'yes' if on_chimera else 'no ':<3}   "
               f"digital annealer {'yes' if on_digital else 'no'}")
 
+    solutions = [exact, sa, sqa, digital, qaoa]
+    if any(solution.cost < exact.cost - 1e-9 for solution in solutions):
+        print("FAIL: a heuristic beat the exhaustive optimum", file=sys.stderr)
+        return 1
+    if not capacity[4][0] or capacity[91][1]:
+        print("FAIL: embedding capacity comparison is wrong", file=sys.stderr)
+        return 1
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

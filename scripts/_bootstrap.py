@@ -1,0 +1,22 @@
+"""Shared path bootstrap for the repo's CLI scripts.
+
+Makes ``repro`` importable for the current process *and* for any worker
+process the parallel runtime spawns (pool workers inherit ``PYTHONPATH``,
+not ``sys.path``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def ensure_importable() -> None:
+    if SRC not in sys.path:
+        sys.path.insert(0, SRC)
+    python_path = os.environ.get("PYTHONPATH", "")
+    if SRC not in python_path.split(os.pathsep):
+        os.environ["PYTHONPATH"] = SRC + (os.pathsep + python_path if python_path else "")

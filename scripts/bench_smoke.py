@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run one representative benchmark per module with timing disabled.
+"""Run one representative benchmark per module and emit a timing artifact.
 
 The full benchmark harness (``pytest benchmarks``) reproduces the paper's
 experiments with real timing, which is slow and noisy.  This smoke run
@@ -7,34 +7,94 @@ exercises the same code paths — one ``bench_smoke``-marked test per
 benchmark module — with ``--benchmark-disable`` so perf-critical code is
 covered by CI without the timing noise.
 
-Usage: ``python scripts/bench_smoke.py [extra pytest args]``
+Besides the pass/fail signal, the run writes ``BENCH_smoke.json``: the
+wall time of every executed benchmark test, plus interpreter metadata.  CI
+uploads the file as an artifact so the perf trajectory of the smoke set
+can be diffed across PRs (see docs/performance.md).
+
+Usage: ``python scripts/bench_smoke.py [--output PATH] [extra pytest args]``
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
-import subprocess
+import platform
 import sys
+import time
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from _bootstrap import REPO_ROOT, ensure_importable  # noqa: E402
+
+
+class TimingRecorder:
+    """Pytest plugin: collect per-test call durations and outcomes."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def pytest_runtest_logreport(self, report) -> None:
+        if report.when != "call":
+            return
+        module = report.nodeid.partition("::")[0]
+        self.records.append(
+            {
+                "nodeid": report.nodeid,
+                "module": os.path.basename(module),
+                "outcome": report.outcome,
+                "duration_s": round(report.duration, 6),
+            }
+        )
+
+
+def write_artifact(path: str, recorder: TimingRecorder, exit_code: int, total_s: float) -> None:
+    payload = {
+        "schema": 1,
+        "kind": "bench_smoke",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "exit_code": exit_code,
+        "total_s": round(total_s, 3),
+        "results": sorted(recorder.records, key=lambda record: record["nodeid"]),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 
 def main() -> int:
-    env = dict(os.environ)
-    src = os.path.join(REPO_ROOT, "src")
-    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
-    command = [
-        sys.executable,
-        "-m",
-        "pytest",
-        "benchmarks",
-        "-m",
-        "bench_smoke",
-        "--benchmark-disable",
-        "-q",
-        *sys.argv[1:],
-    ]
-    return subprocess.call(command, env=env, cwd=REPO_ROOT)
+    parser = argparse.ArgumentParser(add_help=False)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_smoke.json"),
+        help="where to write the timing artifact (default: BENCH_smoke.json)",
+    )
+    args, pytest_args = parser.parse_known_args()
+
+    ensure_importable()
+    # Resolve the artifact path before changing directory, so a relative
+    # --output lands where the caller asked for it.
+    output_path = os.path.abspath(args.output)
+
+    import pytest
+
+    recorder = TimingRecorder()
+    os.chdir(REPO_ROOT)
+    start = time.perf_counter()
+    exit_code = pytest.main(
+        ["benchmarks", "-m", "bench_smoke", "--benchmark-disable", "-q", *pytest_args],
+        plugins=[recorder],
+    )
+    total_s = time.perf_counter() - start
+    write_artifact(output_path, recorder, int(exit_code), total_s)
+    executed = len(recorder.records)
+    failed = sum(1 for record in recorder.records if record["outcome"] != "passed")
+    print(
+        f"bench smoke: {executed} benchmarks, {failed} failed, "
+        f"{total_s:.1f}s -> {output_path}"
+    )
+    return int(exit_code)
 
 
 if __name__ == "__main__":

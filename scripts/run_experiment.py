@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Run a declarative full-stack experiment from the command line.
+
+Experiments can come from a JSON spec file (``--spec``) or be assembled
+from flags: a circuit builder from the registry, a platform factory, a shot
+budget and any number of ``--sweep key=v1,v2,...`` axes.  The runner shards
+shot batches across a process pool with deterministic per-shard seeding, so
+the merged histograms are bit-identical for any ``--workers`` value.
+
+Examples::
+
+    python scripts/run_experiment.py --circuit ghz --qubits 16 --shots 10000
+    python scripts/run_experiment.py --circuit ghz --qubits 16 --platform realistic \
+        --sweep platform.error_rate=1e-4,1e-3,1e-2 --shots 200 --workers 4
+    python scripts/run_experiment.py --spec experiment.json --output results.json
+
+Exits 0 on success, 1 on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from _bootstrap import ensure_importable  # noqa: E402
+
+
+def _parse_value(text: str):
+    """Best-effort literal: int, float, bool, null, else the raw string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("null", "none"):
+        return None
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_sweep(entries: list[str]) -> dict[str, list]:
+    sweep: dict[str, list] = {}
+    for entry in entries:
+        key, separator, values = entry.partition("=")
+        if not separator or not values:
+            raise SystemExit(f"error: bad --sweep entry {entry!r}, expected key=v1,v2,...")
+        sweep[key] = [_parse_value(value) for value in values.split(",")]
+    return sweep
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Execute a full-stack experiment sweep on the parallel runtime."
+    )
+    parser.add_argument("--spec", help="JSON spec file (overrides the circuit/platform flags)")
+    parser.add_argument("--name", default="cli", help="experiment name")
+    parser.add_argument(
+        "--circuit", default="ghz", help="circuit builder (registry name or module:function)"
+    )
+    parser.add_argument("--qubits", type=int, default=4, help="circuit size (builder num_qubits)")
+    parser.add_argument(
+        "--circuit-arg",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra circuit-builder kwarg (repeatable), e.g. --circuit-arg depth=8",
+    )
+    parser.add_argument(
+        "--platform", default="perfect", help="platform factory (registry name or module:function)"
+    )
+    parser.add_argument("--error-rate", type=float, help="error rate for the realistic platform")
+    parser.add_argument("--shots", type=int, default=1024)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sweep",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2",
+        help="sweep axis (repeatable)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="process-pool size (default: all cores)"
+    )
+    parser.add_argument("--cache-dir", default=None, help="artifact cache directory")
+    parser.add_argument("--no-cache", action="store_true", help="disable the on-disk artifact cache")
+    parser.add_argument("--no-compile", action="store_true", help="skip the OpenQL pass pipeline")
+    parser.add_argument("--output", help="write the merged results as JSON to this path")
+    parser.add_argument("--quiet", action="store_true", help="suppress the per-point table")
+    return parser
+
+
+def _circuit_kwargs(args: argparse.Namespace) -> dict:
+    """Builder kwargs: ``num_qubits`` where accepted, plus --circuit-arg pairs."""
+    from repro.runtime.spec import BUILDERS, resolve_reference
+
+    kwargs: dict = {}
+    builder = resolve_reference(args.circuit, BUILDERS)
+    parameters = inspect.signature(builder).parameters
+    takes_kwargs = any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD for parameter in parameters.values()
+    )
+    if takes_kwargs or "num_qubits" in parameters:
+        kwargs["num_qubits"] = args.qubits
+    for entry in args.circuit_arg:
+        key, separator, value = entry.partition("=")
+        if not separator:
+            raise SystemExit(f"error: bad --circuit-arg entry {entry!r}, expected key=value")
+        kwargs[key] = _parse_value(value)
+    return kwargs
+
+
+def spec_from_args(args: argparse.Namespace):
+    from repro.runtime import CircuitSpec, CompilerSpec, ExperimentSpec, PlatformSpec
+
+    if args.spec:
+        with open(args.spec) as handle:
+            return ExperimentSpec.from_dict(json.load(handle))
+    platform_kwargs: dict = {}
+    if args.error_rate is not None:
+        platform_kwargs["error_rate"] = args.error_rate
+    return ExperimentSpec(
+        name=args.name,
+        circuit=CircuitSpec(builder=args.circuit, kwargs=_circuit_kwargs(args)),
+        platform=PlatformSpec(factory=args.platform, kwargs=platform_kwargs),
+        compiler=CompilerSpec(enabled=not args.no_compile),
+        shots=args.shots,
+        seed=args.seed,
+        sweep=_parse_sweep(args.sweep),
+    )
+
+
+def print_report(result) -> None:
+    print(
+        f"experiment {result.name!r}: {len(result.points)} point(s), "
+        f"{result.total_shots} shots, {result.workers} worker(s), "
+        f"{result.total_time_s:.3f}s total"
+    )
+    if result.cache_stats:
+        print(f"artifact cache: {result.cache_stats}")
+    for point in result.points:
+        label = ", ".join(f"{key}={value}" for key, value in point.params.items()) or "-"
+        top = sorted(point.counts.items(), key=lambda item: -item[1])[:4]
+        histogram = "  ".join(f"{bits}:{count}" for bits, count in top)
+        print(
+            f"  [{point.index}] {label:40s} shots={point.shots:<6d} "
+            f"gates={point.gate_count:<4d} cached={str(point.compile_cached):5s} {histogram}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    ensure_importable()
+    args = build_parser().parse_args(argv)
+    try:
+        spec = spec_from_args(args)
+        from repro.runtime import ExperimentRunner
+
+        runner = ExperimentRunner(
+            spec,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+        result = runner.run()
+    except Exception as error:  # surface a clean failure, exit non-zero
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print_report(result)
+    if args.output:
+        result.save(args.output)
+        print(f"results written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -89,9 +89,12 @@ class HostCPU:
         "quantum_annealer": ("optimisation",),
     }
 
-    def __init__(self, name: str = "host"):
+    def __init__(self, name: str = "host", runtime_workers: int | None = None):
         self.name = name
         self.accelerators: dict[str, float] = {}
+        #: Worker-pool size used when offloading experiments; ``None`` means
+        #: "one worker per available core".
+        self.runtime_workers = runtime_workers
 
     def attach_accelerator(self, kind: str, typical_speedup: float) -> None:
         """Register an accelerator of a given kind with its typical kernel speed-up."""
@@ -121,3 +124,19 @@ class HostCPU:
                 OffloadDecision(kernel=kernel, accelerator=best_kind, speedup=best_speedup)
             )
         return report
+
+    # ------------------------------------------------------------------ #
+    def run_experiment(self, spec, workers: int | None = None, cache_dir=None):
+        """Offload a declarative full-stack experiment to the quantum pipeline.
+
+        This is the host's actual execution path (as opposed to the Amdahl
+        bookkeeping above): the :class:`~repro.runtime.spec.ExperimentSpec`
+        is handed to the parallel :class:`~repro.runtime.runner.ExperimentRunner`,
+        which shards the sweep's shot batches across ``workers`` processes
+        and returns the merged :class:`~repro.runtime.aggregate.ExperimentResult`.
+        """
+        from repro.runtime.runner import ExperimentRunner
+
+        if workers is None:
+            workers = self.runtime_workers
+        return ExperimentRunner(spec, workers=workers, cache_dir=cache_dir).run()

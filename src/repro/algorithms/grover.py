@@ -22,7 +22,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.circuit import Circuit
-from repro.qx.statevector import StateVector
 
 
 def optimal_grover_iterations(database_size: int, num_solutions: int = 1) -> int:

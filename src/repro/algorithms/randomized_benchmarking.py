@@ -10,7 +10,7 @@ the decay constant p yields the average error per Clifford.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -11,7 +11,7 @@ a full alignment batch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.apps.qgs.dna import Read
 from repro.apps.qgs.quantum_alignment import AlignmentResult, QuantumAligner

@@ -14,7 +14,6 @@ from repro.core.circuit import Circuit
 from repro.core.operations import Barrier, ClassicalOperation, GateOperation, Measurement
 from repro.cqasm.parser import cqasm_to_circuit
 from repro.eqasm.instructions import (
-    ClassicalInstruction,
     EqasmInstruction,
     EqasmProgram,
     QuantumBundle,

@@ -38,7 +38,6 @@ class QuantumBundle:
         if not self.operations:
             return f"qwait {self.wait_cycles}"
         body = " | ".join(op.to_text() for op in self.operations)
-        prefix = f"{self.wait_cycles}, " if self.wait_cycles else "bs 1 "
         if self.wait_cycles:
             return f"qwait {self.wait_cycles}\nbs 1 {body}"
         return f"bs 1 {body}"

@@ -12,7 +12,6 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.core.circuit import Circuit
-from repro.core.operations import GateOperation
 from repro.mapping.topology import Topology
 
 

@@ -9,7 +9,7 @@ see the updated placement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.circuit import Circuit
 from repro.core.operations import Barrier, ClassicalOperation, GateOperation, Measurement

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.core.circuit import Circuit
 from repro.core.dag import CircuitDAG
-from repro.core.operations import Barrier, GateOperation, Measurement, Operation
+from repro.core.operations import Barrier, GateOperation, Operation
 
 
 @dataclass

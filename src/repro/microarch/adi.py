@@ -11,7 +11,7 @@ retargetable by swapping only this table and the micro-code unit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

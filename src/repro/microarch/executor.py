@@ -13,10 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.circuit import Circuit
-from repro.core.operations import GateOperation, Measurement
 from repro.eqasm.assembler import EqasmAssembler
 from repro.eqasm.instructions import EqasmProgram, QuantumBundle
 from repro.microarch.adi import AnalogDigitalInterface, Pulse

@@ -11,7 +11,7 @@ micro-architecture to a different quantum technology only changes this table
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.eqasm.instructions import EqasmInstruction
 from repro.openql.platform import Platform

@@ -9,7 +9,7 @@ to be precise up to the nanosecond level" (Section 3.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.microarch.microcode import MicroOperation
 from repro.microarch.queues import QueueSet

@@ -67,7 +67,7 @@ class QXSimulator:
         num_qubits: int | None = None,
         error_model: ErrorModel | None = None,
         qubit_model: QubitModel | None = None,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ):
         if error_model is not None and qubit_model is not None:
             raise ValueError("pass either error_model or qubit_model, not both")
@@ -108,6 +108,38 @@ class QXSimulator:
         if program.fused:
             program = program_for(circuit, fuse=False)
         return self._run_trajectories(program, num_qubits, shots, keep_final_state, initial_state)
+
+    def run_program(
+        self,
+        program,
+        shots: int = 1,
+        num_qubits: int | None = None,
+        keep_final_state: bool = False,
+        initial_state: np.ndarray | None = None,
+    ) -> SimulationResult:
+        """Execute an already-lowered :class:`~repro.qx.compiled.KernelProgram`.
+
+        The entry point used by the parallel experiment runtime
+        (:mod:`repro.runtime`), whose workers cache lowered programs on disk
+        and must not pay circuit re-lowering per shard.  Dispatches exactly
+        like :meth:`run`: noise-free programs without measurement feedback
+        take the single-evolution sampled path; everything else runs
+        per-shot trajectories.  Noisy execution requires an *unfused*
+        program, because gate fusion removes error-injection points.
+        """
+        if shots < 1:
+            raise ValueError("shots must be >= 1")
+        register = num_qubits or self.num_qubits or program.num_qubits
+        if program.num_qubits > register:
+            raise ValueError("program does not fit the simulator register")
+        noise_free = isinstance(self.error_model, NoError)
+        if noise_free and not program.needs_trajectories:
+            return self._run_sampled(program, register, shots, keep_final_state, initial_state)
+        if not noise_free and program.fused:
+            raise ValueError(
+                "noisy execution requires an unfused program (lower with fuse=False)"
+            )
+        return self._run_trajectories(program, register, shots, keep_final_state, initial_state)
 
     # ------------------------------------------------------------------ #
     def _run_sampled(self, program, num_qubits, shots, keep_final_state, initial_state):

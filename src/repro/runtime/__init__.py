@@ -1,0 +1,44 @@
+"""Parallel experiment runtime for full-stack runs.
+
+The paper's point is a *full stack* — algorithm -> OpenQL-style compilation
+-> mapping -> micro-architecture -> QX simulation — but hand-wiring those
+layers per script does not scale past a handful of experiments.  This
+package turns a full-stack run into data: an :class:`ExperimentSpec`
+declares the circuit source, target platform, compiler configuration, shot
+budget and parameter sweep, and :class:`ExperimentRunner` executes the
+resulting sweep points and shot batches across a process pool with
+deterministic per-shard seeding and an on-disk cache of compiled artifacts.
+
+Every workload (GHZ scaling, QGS, TSP, QEC sweeps) enters through the same
+API, and multi-core scaling is a property of the runtime rather than of any
+one script.  See ``docs/runtime.md`` for the spec format, the
+sharding/seeding model and cache invalidation rules.
+"""
+
+from repro.runtime.aggregate import ExperimentResult, PointResult, merge_counts
+from repro.runtime.cache import ArtifactCache, default_cache_dir
+from repro.runtime.runner import ExperimentRunner
+from repro.runtime.seeding import shard_seed, shard_sizes
+from repro.runtime.spec import (
+    CircuitSpec,
+    CompilerSpec,
+    ExperimentSpec,
+    PlatformSpec,
+    SweepPoint,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CircuitSpec",
+    "CompilerSpec",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "PlatformSpec",
+    "PointResult",
+    "SweepPoint",
+    "default_cache_dir",
+    "merge_counts",
+    "shard_seed",
+    "shard_sizes",
+]

@@ -1,0 +1,118 @@
+"""On-disk cache for compiled full-stack artifacts.
+
+Two artifact kinds are cached between runs (and shared between the parent
+process and pool workers):
+
+* ``"compile"`` — the cQASM text produced by the OpenQL-style pass
+  pipeline, keyed by the *source* circuit's cQASM, the platform
+  description and the compiler configuration;
+* ``"program"`` — a lowered :class:`~repro.qx.compiled.KernelProgram`,
+  keyed by the compiled cQASM text and the fusion flag.
+
+Keys are SHA-256 hashes of a canonical JSON encoding of the key parts, and
+every key embeds :data:`CACHE_SCHEMA_VERSION`; bumping that constant when
+the lowering format changes invalidates all previously cached entries at
+once.  Values are pickles written atomically (temp file + ``os.replace``)
+so concurrent writers — e.g. several pool workers lowering the same point
+— can only ever publish complete entries.  Unreadable or truncated entries
+are treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+#: Bump to invalidate every cached artifact (e.g. when KernelProgram or the
+#: pass pipeline changes in a way that alters lowered semantics).
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Cache location: ``$REPRO_RUNTIME_CACHE`` or ``~/.cache/repro-runtime``."""
+    override = os.environ.get("REPRO_RUNTIME_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-runtime"
+
+
+class ArtifactCache:
+    """Content-addressed pickle store with hit/miss accounting."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key_for(kind: str, **parts) -> str:
+        """Stable key: SHA-256 over canonical JSON of the key parts."""
+        payload = json.dumps(
+            {"schema": CACHE_SCHEMA_VERSION, "kind": kind, "parts": parts},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str):
+        """Load a cached value, or ``None`` on a miss (corrupt entries are purged)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Atomically publish a value under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}

@@ -1,0 +1,191 @@
+"""The parallel experiment runner.
+
+:class:`ExperimentRunner` turns an :class:`~repro.runtime.spec.ExperimentSpec`
+into executed results in three stages:
+
+1. **plan** — expand the sweep into points; for each point build the source
+   circuit, build the platform, run the OpenQL-style pass pipeline (through
+   the compile cache) and lower the compiled cQASM to a
+   :class:`~repro.qx.compiled.KernelProgram` (through the program cache, so
+   pool workers get disk hits instead of re-lowering);
+2. **shard** — split each point's shot budget into a worker-independent
+   list of shards, each carrying its ``(root seed, point, shard)`` seed
+   coordinates (:mod:`repro.runtime.seeding`);
+3. **execute** — run every shard inline (``workers=1``) or across a
+   ``ProcessPoolExecutor``, then merge shard histograms per point.  Merging
+   is a commutative sum over a deterministic shard list, so the merged
+   counts are bit-identical for any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.cqasm.parser import cqasm_to_circuit
+from repro.cqasm.writer import circuit_to_cqasm
+from repro.qx.compiled import lower
+from repro.runtime.aggregate import ExperimentResult, PointResult, merge_counts
+from repro.runtime.cache import ArtifactCache, default_cache_dir
+from repro.runtime.seeding import shard_sizes
+from repro.runtime.spec import ExperimentSpec, SweepPoint
+from repro.runtime.worker import ShardTask, program_cache_key, run_shard
+
+
+def available_workers() -> int:
+    """Usable CPU count (respects scheduler affinity where exposed)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class PlannedPoint:
+    """A sweep point compiled down to executable shard tasks."""
+
+    point: SweepPoint
+    cqasm: str
+    num_qubits: int
+    gate_count: int
+    compile_cached: bool
+    compile_time_s: float
+    tasks: list[ShardTask] = field(default_factory=list)
+
+
+class ExperimentRunner:
+    """Executes one spec's sweep points and shot shards, possibly in parallel."""
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        workers: int | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        use_cache: bool = True,
+    ):
+        self.spec = spec
+        self.workers = max(1, workers if workers is not None else available_workers())
+        if use_cache:
+            self.cache: ArtifactCache | None = ArtifactCache(cache_dir or default_cache_dir())
+        else:
+            self.cache = None
+
+    # ------------------------------------------------------------------ #
+    # Planning: compile + lower once per point, through the cache.
+    # ------------------------------------------------------------------ #
+    def _compile_point(self, point: SweepPoint) -> PlannedPoint:
+        spec = point.spec
+        start = time.perf_counter()
+        circuit = spec.circuit.build()
+        platform = spec.platform.build(default_num_qubits=circuit.num_qubits)
+        if circuit.num_qubits > platform.num_qubits:
+            raise ValueError(
+                f"point {point.params!r}: circuit needs {circuit.num_qubits} qubits, "
+                f"platform {platform.name!r} has {platform.num_qubits}"
+            )
+        cached = False
+        if spec.compiler.enabled:
+            source_cqasm = circuit_to_cqasm(circuit)
+            key = ArtifactCache.key_for(
+                "compile",
+                source=source_cqasm,
+                platform=platform.describe(),
+                compiler=vars(spec.compiler),
+            )
+            compiled_cqasm = self.cache.get(key) if self.cache is not None else None
+            if not isinstance(compiled_cqasm, str):
+                compiled = spec.compiler.build().compile_circuit(circuit, platform)
+                compiled_cqasm = circuit_to_cqasm(compiled)
+                if self.cache is not None:
+                    self.cache.put(key, compiled_cqasm)
+            else:
+                cached = True
+            cqasm = compiled_cqasm
+        else:
+            cqasm = circuit_to_cqasm(circuit)
+
+        # Canonicalise through the parser so the parent lowers exactly the
+        # circuit every worker will reconstruct, then pre-warm the program
+        # cache with it.
+        canonical = cqasm_to_circuit(cqasm)
+        qubit_model = platform.qubit_model
+        fuse = qubit_model.is_perfect
+        if self.cache is not None:
+            program_key = program_cache_key(cqasm, fuse)
+            if self.cache.get(program_key) is None:
+                self.cache.put(program_key, lower(canonical, fuse=fuse))
+        compile_time = time.perf_counter() - start
+
+        cache_dir = str(self.cache.directory) if self.cache is not None else None
+        tasks = [
+            ShardTask(
+                cqasm=cqasm,
+                num_qubits=canonical.num_qubits,
+                shots=size,
+                root_seed=spec.seed,
+                point_index=point.index,
+                shard_index=shard_index,
+                qubit_model=None if qubit_model.is_perfect else qubit_model,
+                cache_dir=cache_dir,
+            )
+            for shard_index, size in enumerate(
+                shard_sizes(spec.shots, spec.max_shard_shots, spec.min_shards)
+            )
+        ]
+        return PlannedPoint(
+            point=point,
+            cqasm=cqasm,
+            num_qubits=canonical.num_qubits,
+            gate_count=canonical.gate_count(),
+            compile_cached=cached,
+            compile_time_s=compile_time,
+            tasks=tasks,
+        )
+
+    def plan(self) -> list[PlannedPoint]:
+        return [self._compile_point(point) for point in self.spec.points()]
+
+    # ------------------------------------------------------------------ #
+    # Execution.
+    # ------------------------------------------------------------------ #
+    def run(self) -> ExperimentResult:
+        start = time.perf_counter()
+        planned = self.plan()
+        tasks = [task for planned_point in planned for task in planned_point.tasks]
+        exec_start = time.perf_counter()
+
+        if self.workers == 1 or len(tasks) <= 1:
+            shard_results = [run_shard(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(tasks))) as pool:
+                shard_results = list(pool.map(run_shard, tasks))
+
+        end = time.perf_counter()
+        result = ExperimentResult(
+            name=self.spec.name,
+            workers=self.workers,
+            cache_stats=self.cache.stats() if self.cache is not None else {},
+        )
+        for planned_point in planned:
+            index = planned_point.point.index
+            shards = [shard for shard in shard_results if shard.point_index == index]
+            result.points.append(
+                PointResult(
+                    index=index,
+                    params=planned_point.point.params,
+                    shots=sum(shard.shots for shard in shards),
+                    num_qubits=planned_point.num_qubits,
+                    counts=merge_counts(shard.counts for shard in shards),
+                    errors_injected=sum(shard.errors_injected for shard in shards),
+                    gate_count=planned_point.gate_count,
+                    compile_cached=planned_point.compile_cached,
+                    compile_time_s=planned_point.compile_time_s,
+                    # Shards share one pool, so per-point wall time is the
+                    # execution wall of the whole batch.
+                    wall_time_s=end - exec_start,
+                )
+            )
+        result.total_time_s = end - start
+        return result

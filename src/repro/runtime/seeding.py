@@ -1,0 +1,48 @@
+"""Deterministic sharding and per-shard seeding.
+
+The runtime's reproducibility contract is that a merged histogram depends
+only on the :class:`~repro.runtime.spec.ExperimentSpec` (including its
+``seed``) — never on the worker count, the scheduling order, or whether
+compiled artifacts came from the cache.  Two properties deliver that:
+
+* the **shard layout** (:func:`shard_sizes`) is a pure function of the shot
+  count and the spec's sharding knobs; and
+* each shard's random stream (:func:`shard_seed`) is a
+  ``numpy`` ``SeedSequence`` keyed by ``(root seed, point index, shard
+  index)``, so streams are statistically independent across shards and
+  identical no matter which process executes the shard.
+
+Merging per-shard histograms is a commutative sum, so any assignment of
+shards to workers produces the same merged counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def shard_sizes(shots: int, max_shard_shots: int = 4096, min_shards: int = 8) -> list[int]:
+    """Split ``shots`` into a worker-independent list of shard sizes.
+
+    At least ``min_shards`` shards are produced (so small sweeps still
+    spread over a pool), capped by the shot count; large shot budgets grow
+    the shard count so no shard exceeds ``max_shard_shots``.
+    """
+    if shots < 1:
+        raise ValueError("shots must be >= 1")
+    if max_shard_shots < 1:
+        raise ValueError("max_shard_shots must be >= 1")
+    target = max(min_shards, 1, -(-shots // max_shard_shots))
+    count = min(shots, target)
+    base, extra = divmod(shots, count)
+    return [base + 1] * extra + [base] * (count - extra)
+
+
+def shard_seed(root_seed: int, point_index: int, shard_index: int) -> np.random.SeedSequence:
+    """Independent seed for one shard of one sweep point.
+
+    Built directly from a spawn key rather than by calling ``spawn()`` on a
+    parent sequence, so the seed for shard *(p, s)* can be reconstructed in
+    any process without shared state.
+    """
+    return np.random.SeedSequence(entropy=root_seed, spawn_key=(point_index, shard_index))

@@ -1,0 +1,246 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` captures one full-stack run as plain data:
+
+* **circuit** — either raw cQASM text or a reference to a circuit builder
+  (a registry short name such as ``"ghz"``, or a ``"module:function"``
+  dotted reference) plus its keyword arguments;
+* **platform** — a platform factory name (``"perfect"``, ``"realistic"``,
+  ``"superconducting"``, ``"spin_qubit"``, ``"surface17"`` or a dotted
+  reference) plus keyword arguments;
+* **compiler** — which OpenQL-style passes to run;
+* **shots**, **seed** and a **sweep**: named parameter axes whose cartesian
+  product defines the experiment's points.
+
+Specs are JSON-serialisable (``to_dict``/``from_dict``) so they can be
+stored next to results, shipped to worker processes, and hashed for the
+artifact cache.  Sweep keys address spec fields by dotted path:
+``"shots"``, ``"circuit.<kwarg>"``, ``"platform.<kwarg>"`` or
+``"compiler.<field>"``.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from itertools import product
+
+from repro.core.circuit import Circuit
+from repro.openql.compiler import Compiler
+from repro.openql.platform import Platform
+
+#: Registry of circuit builders addressable by short name.
+BUILDERS: dict[str, str] = {
+    "bell": "repro.core.circuit:bell_pair_circuit",
+    "ghz": "repro.core.circuit:ghz_circuit",
+    "qft": "repro.core.circuit:qft_circuit",
+    "random": "repro.core.circuit:random_circuit",
+}
+
+#: Registry of platform factories addressable by short name.
+PLATFORMS: dict[str, str] = {
+    "perfect": "repro.openql.platform:perfect_platform",
+    "realistic": "repro.openql.platform:realistic_platform",
+    "superconducting": "repro.openql.platform:superconducting_platform",
+    "spin_qubit": "repro.openql.platform:spin_qubit_platform",
+    "surface17": "repro.openql.platform:surface17_platform",
+}
+
+#: Platform factories that take an explicit qubit count.
+_SIZED_PLATFORMS = ("perfect", "realistic")
+
+
+def resolve_reference(reference: str, registry: dict[str, str] | None = None):
+    """Resolve a registry short name or ``"module:attribute"`` reference."""
+    if registry and reference in registry:
+        reference = registry[reference]
+    module_name, _, attribute = reference.partition(":")
+    if not attribute:
+        raise ValueError(
+            f"invalid reference {reference!r}: expected a registry name or 'module:attribute'"
+        )
+    module = importlib.import_module(module_name)
+    return getattr(module, attribute)
+
+
+@dataclass
+class CircuitSpec:
+    """Where the quantum logic comes from.
+
+    Exactly one of ``builder`` or ``cqasm`` must be set.  With
+    ``measure="all"`` a terminal ``measure_all`` is appended when the built
+    circuit contains no measurement of its own (builders in the registry
+    produce bare state-preparation circuits).
+    """
+
+    builder: str | None = None
+    kwargs: dict = field(default_factory=dict)
+    cqasm: str | None = None
+    measure: str = "all"  # "all" | "asis"
+
+    def __post_init__(self) -> None:
+        if (self.builder is None) == (self.cqasm is None):
+            raise ValueError("CircuitSpec needs exactly one of builder= or cqasm=")
+        if self.measure not in ("all", "asis"):
+            raise ValueError(f"measure must be 'all' or 'asis', got {self.measure!r}")
+
+    def build(self) -> Circuit:
+        if self.cqasm is not None:
+            from repro.cqasm.parser import cqasm_to_circuit
+
+            circuit = cqasm_to_circuit(self.cqasm)
+        else:
+            builder = resolve_reference(self.builder, BUILDERS)
+            circuit = builder(**self.kwargs)
+        if not isinstance(circuit, Circuit):
+            raise TypeError(f"circuit builder {self.builder!r} returned {type(circuit).__name__}")
+        if self.measure == "all" and not circuit.measurements():
+            circuit.measure_all()
+        return circuit
+
+
+@dataclass
+class PlatformSpec:
+    """Which compilation/simulation target the experiment runs against."""
+
+    factory: str = "perfect"
+    kwargs: dict = field(default_factory=dict)
+
+    def build(self, default_num_qubits: int | None = None) -> Platform:
+        factory = resolve_reference(self.factory, PLATFORMS)
+        kwargs = dict(self.kwargs)
+        if (
+            self.factory in _SIZED_PLATFORMS
+            and "num_qubits" not in kwargs
+            and default_num_qubits is not None
+        ):
+            kwargs["num_qubits"] = default_num_qubits
+        return factory(**kwargs)
+
+
+@dataclass
+class CompilerSpec:
+    """Which OpenQL-style passes to run before simulation."""
+
+    enabled: bool = True
+    optimize: bool = True
+    map_circuits: bool = True
+    schedule_policy: str = "asap"
+
+    def build(self) -> Compiler:
+        return Compiler(
+            optimize=self.optimize,
+            map_circuits=self.map_circuits,
+            schedule_policy=self.schedule_policy,
+        )
+
+
+@dataclass
+class ExperimentSpec:
+    """One declarative full-stack experiment (possibly a parameter sweep)."""
+
+    name: str
+    circuit: CircuitSpec
+    platform: PlatformSpec = field(default_factory=PlatformSpec)
+    compiler: CompilerSpec = field(default_factory=CompilerSpec)
+    shots: int = 1024
+    seed: int = 0
+    sweep: dict[str, list] = field(default_factory=dict)
+    #: Sharding knobs.  The shard layout depends only on these and on the
+    #: effective shot count — never on the worker count — so merged results
+    #: are bit-identical for any parallelism level (see docs/runtime.md).
+    max_shard_shots: int = 4096
+    min_shards: int = 8
+
+    def __post_init__(self) -> None:
+        if self.shots < 1:
+            raise ValueError("shots must be >= 1")
+        for key in self.sweep:
+            self._check_sweep_key(key)
+
+    @staticmethod
+    def _check_sweep_key(key: str) -> None:
+        head, _, tail = key.partition(".")
+        if key == "shots":
+            return
+        if head in ("circuit", "platform", "compiler") and tail:
+            return
+        raise ValueError(
+            f"invalid sweep key {key!r}: expected 'shots', 'circuit.<kwarg>', "
+            "'platform.<kwarg>' or 'compiler.<field>'"
+        )
+
+    # ------------------------------------------------------------------ #
+    def points(self) -> list["SweepPoint"]:
+        """Expand the sweep into resolved per-point specs.
+
+        Points are ordered by the cartesian product of the sweep axes in
+        declaration order, so point indices (and therefore shard seeds) are
+        stable across runs of the same spec.
+        """
+        if not self.sweep:
+            return [SweepPoint(index=0, params={}, spec=replace(self, sweep={}))]
+        axes = list(self.sweep.items())
+        points = []
+        for index, values in enumerate(product(*(values for _, values in axes))):
+            params = {key: value for (key, _), value in zip(axes, values)}
+            points.append(SweepPoint(index=index, params=params, spec=self._bind(params)))
+        return points
+
+    def _bind(self, params: dict) -> "ExperimentSpec":
+        bound = replace(
+            self,
+            circuit=copy.deepcopy(self.circuit),
+            platform=copy.deepcopy(self.platform),
+            compiler=copy.deepcopy(self.compiler),
+            sweep={},
+        )
+        for key, value in params.items():
+            head, _, tail = key.partition(".")
+            if key == "shots":
+                bound.shots = int(value)
+            elif head == "circuit":
+                bound.circuit.kwargs[tail] = value
+            elif head == "platform":
+                bound.platform.kwargs[tail] = value
+            elif head == "compiler":
+                if not hasattr(bound.compiler, tail):
+                    raise ValueError(f"unknown compiler field in sweep key {key!r}")
+                setattr(bound.compiler, tail, value)
+            else:  # pragma: no cover - rejected in __post_init__
+                raise ValueError(f"invalid sweep key {key!r}")
+        if bound.shots < 1:
+            raise ValueError("swept shots must be >= 1")
+        return bound
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        data = dict(data)
+        data["circuit"] = CircuitSpec(**data["circuit"])
+        if "platform" in data:
+            data["platform"] = PlatformSpec(**data["platform"])
+        if "compiler" in data:
+            data["compiler"] = CompilerSpec(**data["compiler"])
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class SweepPoint:
+    """One resolved point of a sweep: its index, axis values and bound spec."""
+
+    index: int
+    params: dict
+    spec: ExperimentSpec

@@ -1,0 +1,97 @@
+"""Shard execution — the function that runs inside pool workers.
+
+A :class:`ShardTask` is a small picklable record: the compiled cQASM text,
+the qubit model, the shot count and the ``(root seed, point, shard)``
+coordinates that determine the shard's random stream.  Workers rebuild the
+executable :class:`~repro.qx.compiled.KernelProgram` from the on-disk
+artifact cache (falling back to parse + lower, then publishing the result)
+and memoise it per process, so a worker pays the lowering cost at most once
+per distinct circuit regardless of how many shards it executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.qubits import QubitModel
+from repro.qx.compiled import KernelProgram, lower
+from repro.qx.simulator import QXSimulator
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.seeding import shard_seed
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One batch of shots of one sweep point, with its seed coordinates."""
+
+    cqasm: str
+    num_qubits: int
+    shots: int
+    root_seed: int
+    point_index: int
+    shard_index: int
+    qubit_model: QubitModel | None = None
+    cache_dir: str | None = None
+
+
+@dataclass
+class ShardResult:
+    """Histogram and error statistics of one executed shard."""
+
+    point_index: int
+    shard_index: int
+    shots: int
+    counts: dict[str, int] = field(default_factory=dict)
+    errors_injected: int = 0
+
+
+def program_cache_key(cqasm: str, fuse: bool) -> str:
+    """Cache key of a lowered program: compiled text + fusion flag."""
+    return ArtifactCache.key_for("program", cqasm=cqasm, fuse=fuse)
+
+
+def _noise_free(qubit_model: QubitModel | None) -> bool:
+    return qubit_model is None or qubit_model.is_perfect
+
+
+#: Per-process memo of lowered programs, keyed by cache key.
+_PROGRAMS: dict[str, KernelProgram] = {}
+
+
+def load_program(task: ShardTask) -> KernelProgram:
+    """Lowered program for a task: process memo -> disk cache -> lower()."""
+    fuse = _noise_free(task.qubit_model)
+    key = program_cache_key(task.cqasm, fuse)
+    program = _PROGRAMS.get(key)
+    if program is not None:
+        return program
+    cache = ArtifactCache(task.cache_dir) if task.cache_dir else None
+    program = cache.get(key) if cache is not None else None
+    if not isinstance(program, KernelProgram):
+        from repro.cqasm.parser import cqasm_to_circuit
+
+        program = lower(cqasm_to_circuit(task.cqasm), fuse=fuse)
+        if cache is not None:
+            cache.put(key, program)
+    _PROGRAMS[key] = program
+    return program
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Execute one shard and return its merged-ready histogram."""
+    program = load_program(task)
+    seed = shard_seed(task.root_seed, task.point_index, task.shard_index)
+    if _noise_free(task.qubit_model):
+        simulator = QXSimulator(num_qubits=task.num_qubits, seed=seed)
+    else:
+        simulator = QXSimulator(
+            num_qubits=task.num_qubits, qubit_model=task.qubit_model, seed=seed
+        )
+    result = simulator.run_program(program, shots=task.shots)
+    return ShardResult(
+        point_index=task.point_index,
+        shard_index=task.shard_index,
+        shots=task.shots,
+        counts=result.counts,
+        errors_injected=result.errors_injected,
+    )

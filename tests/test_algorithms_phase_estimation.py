@@ -14,7 +14,6 @@ from repro.algorithms.phase_estimation import (
     quantum_counting,
 )
 from repro.core.gates import rz_gate
-from repro.qx.simulator import QXSimulator
 
 
 def _phase_unitary(phase: float) -> np.ndarray:

@@ -1,6 +1,5 @@
 """Unit tests for randomised benchmarking and Shor's algorithm."""
 
-import math
 
 import numpy as np
 import pytest

@@ -13,9 +13,8 @@ from repro.algorithms.qft import (
     quantum_fourier_transform,
 )
 from repro.algorithms.vqe import VQE, PauliTerm, ising_hamiltonian
-from repro.annealing.ising import IsingModel, random_ising
+from repro.annealing.ising import random_ising
 from repro.annealing.qubo import maxcut_qubo
-from repro.qx.simulator import QXSimulator
 
 
 class TestQFTModule:

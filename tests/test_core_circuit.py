@@ -12,7 +12,7 @@ from repro.core.circuit import (
     qft_circuit,
     random_circuit,
 )
-from repro.core.operations import Barrier, GateOperation, Measurement
+from repro.core.operations import Barrier
 
 
 def test_circuit_requires_positive_qubits():

@@ -1,11 +1,10 @@
 """Unit tests for the cQASM writer, parser and round-trip."""
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.core.circuit import Circuit, bell_pair_circuit, qft_circuit, random_circuit
+from repro.core.circuit import Circuit, qft_circuit, random_circuit
 from repro.cqasm.ast import CqasmInstruction, CqasmProgram
 from repro.cqasm.parser import CqasmSyntaxError, cqasm_to_circuit, parse_cqasm
 from repro.cqasm.writer import circuit_to_cqasm, program_to_cqasm

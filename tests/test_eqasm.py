@@ -7,7 +7,7 @@ from repro.eqasm.assembler import EqasmAssembler
 from repro.eqasm.instructions import ClassicalInstruction, EqasmInstruction, EqasmProgram, QuantumBundle
 from repro.eqasm.timing import TimingAnalyzer
 from repro.openql.compiler import Compiler
-from repro.openql.platform import perfect_platform, spin_qubit_platform, superconducting_platform
+from repro.openql.platform import spin_qubit_platform, superconducting_platform
 from repro.openql.program import Program
 
 

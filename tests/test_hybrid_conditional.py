@@ -8,7 +8,6 @@ instruction stream at run time.
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core.circuit import Circuit

@@ -6,7 +6,6 @@ measurement results back to the host, on both the perfect-qubit and the
 real-hardware-like platforms.
 """
 
-import numpy as np
 import pytest
 
 from repro.algorithms.grover import grover_circuit

@@ -4,10 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core.circuit import Circuit, qft_circuit, random_circuit
-from repro.core.operations import GateOperation
 from repro.mapping.routing import Router, decompose_swaps
 from repro.mapping.scheduling import Scheduler
-from repro.mapping.topology import fully_connected_topology, grid_topology, linear_topology
+from repro.mapping.topology import fully_connected_topology, linear_topology
 from repro.qx.simulator import QXSimulator
 
 

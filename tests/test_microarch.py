@@ -1,9 +1,7 @@
 """Unit tests for the micro-architecture blocks and the end-to-end executor."""
 
-import numpy as np
 import pytest
 
-from repro.core.circuit import Circuit
 from repro.eqasm.assembler import EqasmAssembler
 from repro.eqasm.instructions import EqasmInstruction
 from repro.microarch.adi import AnalogDigitalInterface

@@ -1,12 +1,10 @@
 """Integration tests for the compiler pass manager."""
 
-import numpy as np
-import pytest
 
 from repro.cqasm.parser import cqasm_to_circuit
 from repro.openql.compiler import Compiler
 from repro.openql.passes.optimization import OptimizationPass
-from repro.openql.platform import perfect_platform, realistic_platform, superconducting_platform
+from repro.openql.platform import perfect_platform, realistic_platform
 from repro.openql.program import Program
 from repro.qx.simulator import QXSimulator
 

@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from helpers import assert_equivalent_up_to_phase

@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on the core data structures and invariants."""
 
-import math
 
 import numpy as np
 import pytest
@@ -10,13 +9,13 @@ from hypothesis import strategies as st
 from repro.annealing.ising import IsingModel
 from repro.annealing.qubo import QUBO
 from repro.apps.qgs.dna import decode_sequence, encode_sequence, hamming_distance
-from repro.core.circuit import Circuit, random_circuit
-from repro.core.gates import build_gate, rx_gate, ry_gate, rz_gate
+from repro.core.circuit import random_circuit
+from repro.core.gates import rx_gate, ry_gate, rz_gate
 from repro.cqasm.parser import cqasm_to_circuit
 from repro.cqasm.writer import circuit_to_cqasm
 from repro.mapping.routing import Router
 from repro.mapping.scheduling import Scheduler
-from repro.mapping.topology import grid_topology, linear_topology
+from repro.mapping.topology import linear_topology
 from repro.qx.simulator import QXSimulator
 from repro.qx.statevector import StateVector
 

@@ -1,6 +1,5 @@
 """Unit tests for the state-vector engine."""
 
-import math
 
 import numpy as np
 import pytest

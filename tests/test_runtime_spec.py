@@ -1,0 +1,169 @@
+"""Spec construction, sweep expansion, serialisation and the CLI entry point."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime import (
+    CircuitSpec,
+    CompilerSpec,
+    ExperimentRunner,
+    ExperimentSpec,
+    PlatformSpec,
+)
+from repro.runtime.spec import resolve_reference
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _spec(**overrides) -> ExperimentSpec:
+    settings = dict(
+        name="spec-test",
+        circuit=CircuitSpec(builder="ghz", kwargs={"num_qubits": 3}),
+        shots=16,
+        seed=1,
+    )
+    settings.update(overrides)
+    return ExperimentSpec(**settings)
+
+
+# ---------------------------------------------------------------------- #
+# CircuitSpec / PlatformSpec
+# ---------------------------------------------------------------------- #
+def test_circuit_spec_requires_exactly_one_source():
+    with pytest.raises(ValueError):
+        CircuitSpec()
+    with pytest.raises(ValueError):
+        CircuitSpec(builder="ghz", cqasm="version 1.0\nqubits 1\n")
+
+
+def test_registry_builder_appends_measurements():
+    circuit = CircuitSpec(builder="ghz", kwargs={"num_qubits": 4}).build()
+    assert circuit.num_qubits == 4
+    assert len(circuit.measurements()) == 4
+    bare = CircuitSpec(builder="ghz", kwargs={"num_qubits": 4}, measure="asis").build()
+    assert not bare.measurements()
+
+
+def test_dotted_reference_builder():
+    circuit = CircuitSpec(
+        builder="repro.core.circuit:qft_circuit", kwargs={"num_qubits": 3}
+    ).build()
+    assert circuit.num_qubits == 3
+    with pytest.raises(ValueError):
+        resolve_reference("no-colon-here")
+
+
+def test_platform_spec_defaults_num_qubits_to_circuit_width():
+    platform = PlatformSpec(factory="perfect").build(default_num_qubits=6)
+    assert platform.num_qubits == 6
+    fixed = PlatformSpec(factory="realistic", kwargs={"num_qubits": 9}).build(
+        default_num_qubits=3
+    )
+    assert fixed.num_qubits == 9
+
+
+# ---------------------------------------------------------------------- #
+# Sweep expansion
+# ---------------------------------------------------------------------- #
+def test_sweep_points_are_cartesian_product_in_declaration_order():
+    spec = _spec(
+        sweep={
+            "platform.error_rate": [1e-4, 1e-3],
+            "shots": [8, 32],
+        },
+        platform=PlatformSpec(factory="realistic"),
+    )
+    points = spec.points()
+    assert [point.params for point in points] == [
+        {"platform.error_rate": 1e-4, "shots": 8},
+        {"platform.error_rate": 1e-4, "shots": 32},
+        {"platform.error_rate": 1e-3, "shots": 8},
+        {"platform.error_rate": 1e-3, "shots": 32},
+    ]
+    assert [point.index for point in points] == [0, 1, 2, 3]
+    assert points[1].spec.shots == 32
+    assert points[2].spec.platform.kwargs["error_rate"] == 1e-3
+    # Binding never mutates the template spec.
+    assert "error_rate" not in spec.platform.kwargs
+    assert spec.shots == 16
+
+
+def test_sweep_rejects_unknown_keys():
+    with pytest.raises(ValueError):
+        _spec(sweep={"seed": [1, 2]})
+    with pytest.raises(ValueError):
+        _spec(sweep={"bogus.key": [1]})
+    with pytest.raises(ValueError):
+        _spec(sweep={"compiler.not_a_field": [True]}).points()
+
+
+def test_swept_shots_change_point_budget(tmp_path):
+    spec = _spec(sweep={"shots": [8, 24]})
+    result = ExperimentRunner(spec, workers=1, cache_dir=tmp_path / "cache").run()
+    assert [point.shots for point in result.points] == [8, 24]
+    assert result.total_shots == 32
+
+
+# ---------------------------------------------------------------------- #
+# Serialisation
+# ---------------------------------------------------------------------- #
+def test_spec_json_roundtrip():
+    spec = _spec(
+        platform=PlatformSpec(factory="realistic", kwargs={"num_qubits": 4}),
+        compiler=CompilerSpec(optimize=False, schedule_policy="alap"),
+        sweep={"platform.error_rate": [1e-4, 1e-2]},
+    )
+    restored = ExperimentSpec.from_json(spec.to_json())
+    assert restored == spec
+    assert isinstance(restored.circuit, CircuitSpec)
+    assert isinstance(restored.platform, PlatformSpec)
+    assert isinstance(restored.compiler, CompilerSpec)
+
+
+def test_roundtripped_spec_runs_identically(tmp_path):
+    spec = _spec()
+    restored = ExperimentSpec.from_json(spec.to_json())
+    first = ExperimentRunner(spec, workers=1, cache_dir=tmp_path / "cache").run()
+    second = ExperimentRunner(restored, workers=1, cache_dir=tmp_path / "cache").run()
+    assert [p.counts for p in first.points] == [p.counts for p in second.points]
+
+
+# ---------------------------------------------------------------------- #
+# CLI entry point
+# ---------------------------------------------------------------------- #
+def _run_cli(*arguments: str, cwd: str = REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "scripts", "run_experiment.py"), *arguments],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+    )
+
+
+def test_cli_runs_a_sweep_and_writes_json(tmp_path):
+    output = tmp_path / "results.json"
+    completed = _run_cli(
+        "--circuit", "ghz", "--qubits", "3",
+        "--platform", "realistic",
+        "--sweep", "platform.error_rate=1e-3,1e-2",
+        "--shots", "16", "--seed", "4", "--workers", "1",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--output", str(output),
+    )
+    assert completed.returncode == 0, completed.stderr
+    payload = json.loads(output.read_text())
+    assert payload["total_shots"] == 32
+    assert len(payload["points"]) == 2
+    assert payload["points"][0]["params"] == {"platform.error_rate": 0.001}
+
+
+def test_cli_exits_nonzero_on_bad_input(tmp_path):
+    completed = _run_cli("--circuit", "does-not-exist", "--shots", "4")
+    assert completed.returncode == 1
+    assert "error:" in completed.stderr
