@@ -82,6 +82,7 @@ def test_surface_code_ancilla_overhead(benchmark):
         assert total == data + ancilla
 
 
+@pytest.mark.bench_smoke
 def test_esm_decoding_rate(benchmark):
     """Defects per round the decoder must process in real time (Section 2.1)."""
     code = PlanarSurfaceCode(5)
@@ -100,3 +101,77 @@ def test_esm_decoding_rate(benchmark):
         ],
     )
     assert result.defects_per_round > 0
+
+
+def test_surface_code_d9_vectorized_speedup(benchmark):
+    """Surface-code-size syndrome extraction: the incidence-matrix memory
+    experiment must beat the per-plaquette/per-round reference >= 5x at
+    distance 9 (10 rounds, 500 trials) while staying bit-identical."""
+    import time
+
+    code = PlanarSurfaceCode(9)
+
+    def compare():
+        start = time.perf_counter()
+        fast = code.run_memory_experiment(0.001, rounds=10, trials=500, seed=1)
+        fast_s = time.perf_counter() - start
+        start = time.perf_counter()
+        slow = code.run_memory_experiment_reference(0.001, rounds=10, trials=500, seed=1)
+        slow_s = time.perf_counter() - start
+        return fast, slow, fast_s, slow_s
+
+    fast, slow, fast_s, slow_s = run_once(benchmark, compare)
+    print_table(
+        "E6e distance-9 memory experiment: vectorized vs per-plaquette loops",
+        ["implementation", "wall_s", "failures", "defects"],
+        [
+            ("vectorized", round(fast_s, 3), fast.logical_failures, fast.total_defects),
+            ("reference loops", round(slow_s, 3), slow.logical_failures, slow.total_defects),
+            ("speedup", round(slow_s / fast_s, 1), "-", "-"),
+        ],
+    )
+    assert fast.logical_failures == slow.logical_failures
+    assert fast.total_defects == slow.total_defects
+    assert slow_s / fast_s >= 5.0
+
+
+def test_qec_runtime_sweep_bit_identical_across_workers(benchmark):
+    """Distance x error-rate sweeps shard across the process pool under the
+    runtime's SeedSequence contract: 1 worker and 4 workers must merge to
+    bit-identical logical-failure histograms and defect totals."""
+    from repro.runtime import ExperimentRunner, ExperimentSpec, QecSpec
+
+    spec = ExperimentSpec(
+        name="bench-qec-sweep",
+        kind="qec",
+        qec=QecSpec(distance=3),
+        shots=200,  # trials per point
+        seed=29,
+        sweep={"qec.distance": [3, 5], "qec.physical_error_rate": [0.005, 0.02]},
+    )
+
+    def sweep_twice():
+        serial = ExperimentRunner(spec, workers=1, use_cache=False).run()
+        parallel = ExperimentRunner(spec, workers=4, use_cache=False).run()
+        return serial, parallel
+
+    serial, parallel = run_once(benchmark, sweep_twice)
+    rows = [
+        (
+            point.params["qec.distance"],
+            point.params["qec.physical_error_rate"],
+            round(point.probability("1"), 4),
+            point.errors_injected,
+        )
+        for point in serial.points
+    ]
+    print_table(
+        "E6f runtime surface-code sweep (200 trials/point, merged histograms)",
+        ["distance", "physical_p", "logical_error_rate", "defects"],
+        rows,
+    )
+    assert [p.counts for p in serial.points] == [p.counts for p in parallel.points]
+    assert [p.errors_injected for p in serial.points] == [
+        p.errors_injected for p in parallel.points
+    ]
+    assert all(point.shots == 200 for point in serial.points)

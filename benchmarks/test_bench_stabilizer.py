@@ -1,0 +1,88 @@
+"""Stabilizer-engine benchmarks (Section 2.1, realistic-qubit track).
+
+The paper's QEC workloads need Clifford circuits far beyond state-vector
+reach.  These benchmarks track the tableau engine's measurement wall time
+at QEC-relevant register sizes and locate the crossover where the
+stabilizer engine overtakes the state-vector engine on identical Clifford
+circuits — the boundary `QXSimulator.run`'s auto-dispatch is built around.
+"""
+
+import time
+
+import pytest
+
+from bench_utils import print_table, run_once
+from repro.core.circuit import ghz_circuit
+from repro.qx.simulator import QXSimulator
+from repro.qx.stabilizer import StabilizerSimulator
+
+
+@pytest.mark.bench_smoke
+def test_tableau_measurement_wall_time(benchmark):
+    """Tableau measurement cost versus register size (GHZ + full read-out).
+
+    Every qubit's measurement triggers the batched anticommuting-row sweep,
+    so this is the O(n^2) path the vectorized row algebra accelerates.
+    """
+
+    def sweep():
+        rows = []
+        for num_qubits in (50, 100, 200):
+            circuit = ghz_circuit(num_qubits)
+            circuit.measure_all()
+            simulator = StabilizerSimulator(seed=1)
+            start = time.perf_counter()
+            counts = simulator.run(circuit, shots=20)
+            wall_s = time.perf_counter() - start
+            assert set(counts) <= {"0" * num_qubits, "1" * num_qubits}
+            assert sum(counts.values()) == 20
+            rows.append((num_qubits, 20, round(wall_s * 1e3, 1)))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "S1 tableau measurement wall time (GHZ-n, 20 shots, full read-out)",
+        ["qubits", "shots", "wall_ms"],
+        rows,
+    )
+
+
+def test_stabilizer_vs_statevector_crossover(benchmark):
+    """Wall-time crossover of the two engines on identical Clifford circuits.
+
+    Both engines execute GHZ-n with full read-out for 25 shots; the state
+    vector pays O(2^n) per evolution, the tableau O(n^2) per shot.  The
+    largest state-vector size must already lose to the tableau, justifying
+    the auto-dispatch threshold in `QXSimulator.run`.
+    """
+
+    def sweep():
+        rows = []
+        crossover = None
+        for num_qubits in (8, 12, 16, 20):
+            circuit = ghz_circuit(num_qubits)
+            circuit.measure_all()
+            start = time.perf_counter()
+            sv_counts = QXSimulator(seed=2).run(circuit, shots=25).counts
+            sv_s = time.perf_counter() - start
+            start = time.perf_counter()
+            stab_counts = StabilizerSimulator(seed=2).run(circuit, shots=25)
+            stab_s = time.perf_counter() - start
+            assert set(sv_counts) == set(stab_counts)
+            if crossover is None and stab_s < sv_s:
+                crossover = num_qubits
+            rows.append(
+                (num_qubits, round(sv_s * 1e3, 2), round(stab_s * 1e3, 2), round(sv_s / stab_s, 2))
+            )
+        return rows, crossover
+
+    rows, crossover = run_once(benchmark, sweep)
+    print_table(
+        "S2 stabilizer vs state-vector crossover (GHZ-n, 25 shots)",
+        ["qubits", "statevector_ms", "tableau_ms", "ratio"],
+        rows,
+    )
+    print(f"crossover at n = {crossover} qubits")
+    # At the last size below the dispatch threshold the tableau must win
+    # decisively (the auto-dispatch threshold sits just above it).
+    assert rows[-1][3] > 1.5

@@ -14,6 +14,13 @@ Examples::
         --sweep platform.error_rate=1e-4,1e-3,1e-2 --shots 200 --workers 4
     python scripts/run_experiment.py --spec experiment.json --output results.json
 
+Surface-code memory experiments run on the stabilizer/QEC track with
+``--kind qec``; ``--shots`` is the trial budget and the histogram key "1"
+counts logical failures::
+
+    python scripts/run_experiment.py --kind qec --distance 5 --error-rate 0.01 \
+        --sweep qec.distance=3,5,7 --shots 2000 --workers 4
+
 Exits 0 on success, 1 on any failure.
 """
 
@@ -60,6 +67,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--spec", help="JSON spec file (overrides the circuit/platform flags)")
     parser.add_argument("--name", default="cli", help="experiment name")
+    parser.add_argument(
+        "--kind",
+        default="circuit",
+        choices=("circuit", "qec"),
+        help="experiment kind: compiled circuit or surface-code memory experiment",
+    )
+    parser.add_argument(
+        "--distance", type=int, default=3, help="surface-code distance (--kind qec)"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None, help="syndrome rounds per trial (--kind qec)"
+    )
+    parser.add_argument(
+        "--measurement-error-rate",
+        type=float,
+        default=None,
+        help="ancilla read-out error rate (--kind qec; defaults to the physical rate)",
+    )
     parser.add_argument(
         "--circuit", default="ghz", help="circuit builder (registry name or module:function)"
     )
@@ -116,11 +141,40 @@ def _circuit_kwargs(args: argparse.Namespace) -> dict:
 
 
 def spec_from_args(args: argparse.Namespace):
-    from repro.runtime import CircuitSpec, CompilerSpec, ExperimentSpec, PlatformSpec
+    from repro.runtime import CircuitSpec, CompilerSpec, ExperimentSpec, PlatformSpec, QecSpec
 
     if args.spec:
         with open(args.spec) as handle:
             return ExperimentSpec.from_dict(json.load(handle))
+    if args.kind == "qec":
+        conflicting = []
+        if args.circuit != "ghz":
+            conflicting.append("--circuit")
+        if args.circuit_arg:
+            conflicting.append("--circuit-arg")
+        if args.qubits != 4:
+            conflicting.append("--qubits")
+        if args.platform != "perfect":
+            conflicting.append("--platform")
+        if args.no_compile:
+            conflicting.append("--no-compile")
+        if conflicting:
+            raise SystemExit(
+                f"error: {', '.join(conflicting)} only apply to --kind circuit"
+            )
+        return ExperimentSpec(
+            name=args.name,
+            kind="qec",
+            qec=QecSpec(
+                distance=args.distance,
+                rounds=args.rounds,
+                physical_error_rate=args.error_rate if args.error_rate is not None else 1e-3,
+                measurement_error_rate=args.measurement_error_rate,
+            ),
+            shots=args.shots,
+            seed=args.seed,
+            sweep=_parse_sweep(args.sweep),
+        )
     platform_kwargs: dict = {}
     if args.error_rate is not None:
         platform_kwargs["error_rate"] = args.error_rate

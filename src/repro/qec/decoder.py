@@ -40,31 +40,49 @@ class MatchingDecoder:
     def decode(self, defects: list[tuple[int, int]]) -> int:
         if not defects:
             return 0
+        # Small defect sets — the common case below threshold — are matched
+        # exactly without building the blossom graph: one defect can only
+        # pair with its boundary, two defects have exactly two candidate
+        # matchings.  Weight ties fall through to blossom so tie-breaking is
+        # identical to the general path.
+        if len(defects) == 1:
+            return self._boundary_parity(defects[0])
+        if len(defects) == 2:
+            pair_weight = self._spacetime_weight(defects[0], defects[1])
+            split_weight = self._boundary_weight(defects[0]) + self._boundary_weight(defects[1])
+            if pair_weight < split_weight:
+                return self._pair_parity(defects[0], defects[1])
+            if pair_weight > split_weight:
+                return self._boundary_parity(defects[0]) ^ self._boundary_parity(defects[1])
         matching = self._match(defects)
-        reference = self.code.reference_row
         parity = 0
         for (kind_a, index_a), (kind_b, index_b) in matching:
             if kind_a == "boundary" and kind_b == "boundary":
                 continue
             if kind_a == "defect" and kind_b == "defect":
-                row_a = self._defect_row(defects[index_a])
-                row_b = self._defect_row(defects[index_b])
-                low, high = min(row_a, row_b), max(row_a, row_b)
-                if low < reference < high:
-                    parity ^= 1
+                parity ^= self._pair_parity(defects[index_a], defects[index_b])
             else:
                 defect_index = index_a if kind_a == "defect" else index_b
-                row = self._defect_row(defects[defect_index])
-                # Matched to its nearest boundary (top when closer to the top).
-                to_top = row + 0.5
-                to_bottom = (self.code.distance - 0.5) - row
-                if to_top <= to_bottom:
-                    if reference < row:
-                        parity ^= 1
-                else:
-                    if reference > row:
-                        parity ^= 1
+                parity ^= self._boundary_parity(defects[defect_index])
         return parity
+
+    def _pair_parity(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        """Crossing parity of the correction chain joining two defects."""
+        row_a = self._defect_row(a)
+        row_b = self._defect_row(b)
+        low, high = min(row_a, row_b), max(row_a, row_b)
+        return 1 if low < self.code.reference_row < high else 0
+
+    def _boundary_parity(self, defect: tuple[int, int]) -> int:
+        """Crossing parity of a chain from a defect to its nearest boundary
+        (top when closer to the top)."""
+        reference = self.code.reference_row
+        row = self._defect_row(defect)
+        to_top = row + 0.5
+        to_bottom = (self.code.distance - 0.5) - row
+        if to_top <= to_bottom:
+            return 1 if reference < row else 0
+        return 1 if reference > row else 0
 
     # ------------------------------------------------------------------ #
     def _defect_row(self, defect: tuple[int, int]) -> float:

@@ -90,6 +90,12 @@ class PlanarSurfaceCode:
                 self.plaquettes.append((r * d + d - 1, (r + 1) * d + d - 1))
                 self.plaquette_centres.append((r + 0.5, d - 0.5))
         self.num_ancilla = len(self.plaquettes)
+        #: Plaquette incidence matrix: ``incidence[a, q] == 1`` when data
+        #: qubit q is in the support of Z-plaquette a.  Syndrome extraction
+        #: is one matrix product against it instead of a per-plaquette loop.
+        self.incidence = np.zeros((self.num_ancilla, self.num_data), dtype=np.int8)
+        for index, plaquette in enumerate(self.plaquettes):
+            self.incidence[index, list(plaquette)] = 1
         #: Reference data row whose X-error parity is the logical observable.
         self.reference_row = d // 2
 
@@ -127,6 +133,17 @@ class PlanarSurfaceCode:
     # ------------------------------------------------------------------ #
     def syndrome(self, errors: np.ndarray) -> np.ndarray:
         """Parity of every Z-plaquette for a given X-error pattern."""
+        errors = np.asarray(errors, dtype=np.int8)
+        return (self.incidence @ errors) & 1
+
+    def syndrome_batch(self, errors: np.ndarray) -> np.ndarray:
+        """Syndromes of a ``(trials, num_data)`` block of error patterns."""
+        errors = np.asarray(errors, dtype=np.int8)
+        return (errors @ self.incidence.T) & 1
+
+    def syndrome_reference(self, errors: np.ndarray) -> np.ndarray:
+        """Per-plaquette loop implementation, kept as the ground truth the
+        vectorized :meth:`syndrome` is tested and benchmarked against."""
         result = np.zeros(self.num_ancilla, dtype=np.int8)
         for index, plaquette in enumerate(self.plaquettes):
             result[index] = int(np.sum(errors[list(plaquette)]) % 2)
@@ -154,7 +171,7 @@ class PlanarSurfaceCode:
         rounds: int | None = None,
         trials: int = 500,
         measurement_error_rate: float | None = None,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ) -> SurfaceCodeResult:
         """Logical memory experiment: accumulate errors over ESM rounds.
 
@@ -163,6 +180,73 @@ class PlanarSurfaceCode:
         probability ``measurement_error_rate``.  Space-time defects are
         matched by :class:`~repro.qec.decoder.MatchingDecoder`; a trial fails
         when the decoder's correction disagrees with the true logical parity.
+
+        Every trial's rounds are processed as one batch: a single uniform
+        block per trial (consumed in the same order as the per-round loops of
+        :meth:`run_memory_experiment_reference`, so outcomes are
+        bit-identical for equal seeds), a cumulative-XOR error history, and a
+        single incidence-matrix product for all syndromes.
+        """
+        rng = np.random.default_rng(seed)
+        rounds = rounds if rounds is not None else self.distance
+        measurement_error_rate = (
+            measurement_error_rate if measurement_error_rate is not None else physical_error_rate
+        )
+        decoder = MatchingDecoder(self)
+        failures = 0
+        total_defects = 0
+        for _ in range(trials):
+            # One draw per trial; columns split into data-error and
+            # measurement-flip thresholds, row-major consumption matching the
+            # reference implementation's per-round interleaving exactly.
+            block = rng.random((rounds, self.num_data + self.num_ancilla))
+            new_errors = (block[:, : self.num_data] < physical_error_rate).astype(np.int8)
+            flips = (block[:, self.num_data :] < measurement_error_rate).astype(np.int8)
+            # Row t of the accumulated history is the error pattern after
+            # round t; syndromes of every round are one matrix product.
+            history = np.bitwise_xor.accumulate(new_errors, axis=0)
+            if rounds:
+                observed = self.syndrome_batch(history) ^ flips
+                final_errors = history[-1]
+            else:
+                observed = np.zeros((0, self.num_ancilla), dtype=np.int8)
+                final_errors = np.zeros(self.num_data, dtype=np.int8)
+            # Final perfect read-out round closes open defect chains in time.
+            syndromes = np.vstack([observed, self.syndrome(final_errors)[np.newaxis, :]])
+            changed = syndromes.copy()
+            changed[1:] ^= syndromes[:-1]
+            times, ancillas = np.nonzero(changed)
+            defects = list(zip(times.tolist(), ancillas.tolist()))
+            total_defects += len(defects)
+
+            correction_parity = decoder.decode(defects)
+            if correction_parity != self.error_crossing_parity(final_errors):
+                failures += 1
+        return SurfaceCodeResult(
+            distance=self.distance,
+            rounds=rounds,
+            trials=trials,
+            physical_error_rate=physical_error_rate,
+            measurement_error_rate=measurement_error_rate,
+            logical_failures=failures,
+            total_defects=total_defects,
+        )
+
+    def run_memory_experiment_reference(
+        self,
+        physical_error_rate: float,
+        rounds: int | None = None,
+        trials: int = 500,
+        measurement_error_rate: float | None = None,
+        seed: int | np.random.SeedSequence | None = None,
+    ) -> SurfaceCodeResult:
+        """Per-round, per-plaquette loop implementation of the memory
+        experiment — the pre-vectorization ground truth.
+
+        Kept (like ``kernels.apply_gate_generic`` on the state-vector side)
+        so equivalence tests can assert that :meth:`run_memory_experiment`
+        produces bit-identical failure counts and defect totals for equal
+        seeds, and so benchmarks can measure the speedup against it.
         """
         rng = np.random.default_rng(seed)
         rounds = rounds if rounds is not None else self.distance
@@ -179,14 +263,13 @@ class PlanarSurfaceCode:
             for round_index in range(rounds):
                 new_errors = (rng.random(self.num_data) < physical_error_rate).astype(np.int8)
                 errors ^= new_errors
-                observed = self.syndrome(errors)
+                observed = self.syndrome_reference(errors)
                 flips = (rng.random(self.num_ancilla) < measurement_error_rate).astype(np.int8)
                 observed = observed ^ flips
                 changed = observed ^ previous
                 defects.extend((round_index, int(a)) for a in np.nonzero(changed)[0])
                 previous = observed
-            # Final perfect read-out round closes open defect chains in time.
-            observed = self.syndrome(errors)
+            observed = self.syndrome_reference(errors)
             changed = observed ^ previous
             defects.extend((rounds, int(a)) for a in np.nonzero(changed)[0])
             total_defects += len(defects)

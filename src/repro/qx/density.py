@@ -10,8 +10,25 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.circuit import Circuit, _expand_gate
+from repro.core.circuit import Circuit
 from repro.core.operations import GateOperation, Measurement
+
+
+def _contract(tensor: np.ndarray, matrix: np.ndarray, qubits, num_qubits: int, offset: int):
+    """Contract a ``2**k x 2**k`` gate into a ``(2,) * 2n`` density tensor.
+
+    ``offset`` selects the index group: 0 applies the matrix to the row
+    indices (``U rho``), ``num_qubits`` to the column indices (``rho U^T``,
+    so pass the conjugate matrix for ``rho U^dagger``).  Qubit q of the flat
+    index is axis ``offset + n - 1 - q`` (little-endian flat index, C-order
+    tensor axes); gate operand 0 is the most significant bit of the gate
+    index, matching ``repro.core.circuit._expand_gate``.
+    """
+    k = len(qubits)
+    reshaped = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+    axes = [offset + num_qubits - 1 - q for q in qubits]
+    contracted = np.tensordot(reshaped, tensor, axes=(list(range(k, 2 * k)), axes))
+    return np.moveaxis(contracted, list(range(k)), axes)
 
 
 class DensityMatrixSimulator:
@@ -24,7 +41,7 @@ class DensityMatrixSimulator:
             raise ValueError("depolarizing_rate outside [0, 1]")
         self.num_qubits = num_qubits
         self.depolarizing_rate = depolarizing_rate
-        dim = 2 ** num_qubits
+        dim = 2**num_qubits
         self.rho = np.zeros((dim, dim), dtype=complex)
         self.rho[0, 0] = 1.0
 
@@ -33,23 +50,46 @@ class DensityMatrixSimulator:
         self.rho[0, 0] = 1.0
 
     def apply_unitary(self, matrix: np.ndarray, qubits: tuple[int, ...]) -> None:
-        full = _expand_gate(matrix, qubits, self.num_qubits)
-        self.rho = full @ self.rho @ full.conj().T
+        """Apply ``U rho U^dagger`` by tensor contraction on the gate's axes.
+
+        Cost is ``O(4**k * 4**n)`` for a k-qubit gate instead of the
+        ``O(8**n)`` of materialising the full ``2**n x 2**n`` unitary and
+        taking two dense matrix products.
+        """
+        matrix = np.asarray(matrix, dtype=complex)
+        tensor = self.rho.reshape((2,) * (2 * self.num_qubits))
+        tensor = _contract(tensor, matrix, qubits, self.num_qubits, 0)
+        tensor = _contract(tensor, matrix.conj(), qubits, self.num_qubits, self.num_qubits)
+        self.rho = np.ascontiguousarray(tensor).reshape(self.rho.shape)
 
     def apply_depolarizing(self, qubit: int, probability: float) -> None:
-        """Apply the exact single-qubit depolarising channel."""
+        """Apply the exact single-qubit depolarising channel.
+
+        Uses the closed block form: splitting rho into 2x2 blocks over the
+        target qubit, ``(X rho X + Y rho Y + Z rho Z)`` equals
+        ``[[A + 2D, -B], [-C, D + 2A]]``, so the channel mixes the diagonal
+        blocks and damps the off-diagonal ones in place — no Pauli matrices
+        are ever expanded.
+        """
         if probability <= 0:
             return
-        paulis = {
-            "x": np.array([[0, 1], [1, 0]], dtype=complex),
-            "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
-            "z": np.array([[1, 0], [0, -1]], dtype=complex),
-        }
-        new_rho = (1.0 - probability) * self.rho
-        for matrix in paulis.values():
-            full = _expand_gate(matrix, (qubit,), self.num_qubits)
-            new_rho += (probability / 3.0) * (full @ self.rho @ full.conj().T)
-        self.rho = new_rho
+        n = self.num_qubits
+        high = 2 ** (n - 1 - qubit)
+        low = 2**qubit
+        # The block update mutates reshape views in place, which requires a
+        # C-contiguous rho (reshaping a non-contiguous array returns a copy
+        # and the writes would be silently discarded).
+        if not self.rho.flags.c_contiguous:
+            self.rho = np.ascontiguousarray(self.rho)
+        blocks = self.rho.reshape(high, 2, low, high, 2, low)
+        mix = 2.0 * probability / 3.0
+        damp = 1.0 - 4.0 * probability / 3.0
+        top = blocks[:, 0, :, :, 0, :].copy()
+        bottom = blocks[:, 1, :, :, 1, :]
+        blocks[:, 0, :, :, 0, :] = (1.0 - mix) * top + mix * bottom
+        blocks[:, 1, :, :, 1, :] = (1.0 - mix) * bottom + mix * top
+        blocks[:, 0, :, :, 1, :] *= damp
+        blocks[:, 1, :, :, 0, :] *= damp
 
     def run(self, circuit: Circuit) -> None:
         """Evolve the density matrix through a measurement-free circuit."""

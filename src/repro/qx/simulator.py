@@ -25,7 +25,21 @@ from repro.core.qubits import PERFECT, QubitModel
 from repro.qx import kernels
 from repro.qx.compiled import COND_GATE, GATE, MEASURE, program_for
 from repro.qx.error_models import ErrorModel, NoError, error_model_for
+from repro.qx.stabilizer import StabilizerSimulator
 from repro.qx.statevector import StateVector
+
+#: Register size above which a noise-free all-Clifford circuit that *forces
+#: per-shot trajectories* (mid-circuit measurement or conditional feedback)
+#: is routed to the stabilizer tableau engine: the state-vector trajectory
+#: path pays O(shots * 2**n) there, so the tableau wins for any shot count.
+STABILIZER_DISPATCH_MIN_QUBITS = 21
+
+#: Register size above which even *sampled-path-eligible* Clifford circuits
+#: (terminal measurements only) go to the tableau.  The sampled path is one
+#: O(2**n) evolution regardless of shots — cheaper than per-shot tableau
+#: runs at moderate sizes — so dispatch waits until the amplitude array
+#: itself becomes the problem (2**26 complex doubles = 1 GiB).
+STABILIZER_DISPATCH_SAMPLED_MIN_QUBITS = 26
 
 
 @dataclass
@@ -92,6 +106,12 @@ class QXSimulator:
         measurement feedback, all shots share a single state-vector
         evolution and the measurement histogram is sampled from the final
         distribution, which is exponentially cheaper than re-running.
+
+        Noise-free circuits built entirely from Clifford gates are routed to
+        the stabilizer tableau engine once the register exceeds
+        :data:`STABILIZER_DISPATCH_MIN_QUBITS` — QEC-scale Clifford circuits
+        run in polynomial time instead of exhausting memory on a ``2**n``
+        state vector, with the same histogram keying convention.
         """
         if shots < 1:
             raise ValueError("shots must be >= 1")
@@ -103,6 +123,24 @@ class QXSimulator:
         # runs never pay for (or cache) a fused program they cannot use.
         noise_free = isinstance(self.error_model, NoError)
         program = program_for(circuit, fuse=noise_free)
+        if (
+            noise_free
+            and initial_state is None
+            and not keep_final_state
+            and num_qubits >= STABILIZER_DISPATCH_MIN_QUBITS
+            and program.num_measurements
+            and StabilizerSimulator.is_clifford_circuit(circuit)
+        ):
+            # Trajectory-forcing circuits beat the state vector immediately;
+            # sampled-eligible ones only once the amplitude array itself is
+            # the bottleneck (the sampled path is flat in the shot count).
+            threshold = (
+                STABILIZER_DISPATCH_MIN_QUBITS
+                if program.needs_trajectories
+                else STABILIZER_DISPATCH_SAMPLED_MIN_QUBITS
+            )
+            if num_qubits >= threshold:
+                return self._run_stabilizer(circuit, num_qubits, shots)
         if noise_free and not program.needs_trajectories:
             return self._run_sampled(program, num_qubits, shots, keep_final_state, initial_state)
         if program.fused:
@@ -121,11 +159,15 @@ class QXSimulator:
 
         The entry point used by the parallel experiment runtime
         (:mod:`repro.runtime`), whose workers cache lowered programs on disk
-        and must not pay circuit re-lowering per shard.  Dispatches exactly
-        like :meth:`run`: noise-free programs without measurement feedback
-        take the single-evolution sampled path; everything else runs
-        per-shot trajectories.  Noisy execution requires an *unfused*
-        program, because gate fusion removes error-injection points.
+        and must not pay circuit re-lowering per shard.  Noise-free programs
+        without measurement feedback take the single-evolution sampled path;
+        everything else runs per-shot trajectories.  Unlike :meth:`run`
+        there is no stabilizer auto-dispatch: a lowered program carries gate
+        matrices, not names, so the tableau engine cannot execute it — run
+        QEC-scale Clifford workloads through :meth:`run` or the runtime's
+        ``qec`` experiment kind instead.  Noisy execution requires an
+        *unfused* program, because gate fusion removes error-injection
+        points.
         """
         if shots < 1:
             raise ValueError("shots must be >= 1")
@@ -197,16 +239,30 @@ class QXSimulator:
                 result.final_state = state.amplitudes.copy()
         result.errors_injected = errors
         if measured_any:
-            ordered = program.measured_bits
-            columns = all_bits[:, list(reversed(ordered))]
-            # Unique-row histogram: no integer packing, so the width is not
-            # limited by the 63 value bits of int64.
-            rows, frequencies = np.unique(columns, axis=0, return_counts=True)
-            result.counts = {
-                key: int(frequency)
-                for key, frequency in zip(kernels.bitstring_keys(rows), frequencies)
-            }
+            result.counts = _bits_histogram(all_bits, program.measured_bits)
             result.classical_bits = all_bits.tolist()
+        return result
+
+    def _run_stabilizer(self, circuit, num_qubits, shots):
+        """Per-shot tableau execution of a noise-free Clifford circuit.
+
+        Gate/measurement/feedback semantics are
+        :meth:`~repro.qx.stabilizer.StabilizerSimulator._run_shot` — one
+        source of truth with the standalone engine — and the histogram block
+        is shared with :meth:`_run_trajectories`, so routing a circuit to
+        the tableau engine changes only the cost, never the result format.
+        """
+        engine = StabilizerSimulator(rng=self.rng)
+        num_bits = max(circuit.num_bits, num_qubits)
+        all_bits = np.zeros((shots, num_bits), dtype=np.int64)
+        written: set[int] = set()
+        for shot in range(shots):
+            for bit, value in engine._run_shot(circuit).items():
+                all_bits[shot, bit] = value
+                written.add(bit)
+        result = SimulationResult(num_qubits=num_qubits, shots=shots)
+        result.counts = _bits_histogram(all_bits, tuple(sorted(written)))
+        result.classical_bits = all_bits.tolist()
         return result
 
     # ------------------------------------------------------------------ #
@@ -238,6 +294,21 @@ class QXSimulator:
                     self.error_model.apply_after_gate(state, op.qubits, op.duration, self.rng)
             total += float(abs(np.vdot(ideal, state.amplitudes)) ** 2)
         return total / shots
+
+
+def _bits_histogram(all_bits: np.ndarray, ordered_bits: tuple[int, ...]) -> dict[str, int]:
+    """Histogram a ``(shots, bits)`` array by the shared keying convention:
+    character j of a key is bit ``ordered_bits[-1 - j]`` (lowest rightmost).
+
+    Unique-row based: no integer packing, so the key width is not limited by
+    the 63 value bits of int64.
+    """
+    columns = all_bits[:, list(reversed(ordered_bits))]
+    rows, frequencies = np.unique(columns, axis=0, return_counts=True)
+    return {
+        key: int(frequency)
+        for key, frequency in zip(kernels.bitstring_keys(rows), frequencies)
+    }
 
 
 def _has_mid_circuit_measurement(circuit: Circuit) -> bool:

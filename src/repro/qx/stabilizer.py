@@ -7,9 +7,17 @@ stabilizer formalism instead.  This is an Aaronson-Gottesman CHP-style
 tableau simulator: Clifford gates (H, S, CNOT, CZ, X, Y, Z, SWAP) in O(n)
 per gate, measurements in O(n^2), hundreds of qubits comfortably.
 
+All row algebra is whole-row numpy: the phase of a Pauli-row product is one
+vectorized expression over the X/Z bit-planes (no per-qubit Python loop),
+and a measurement's anticommuting-row sweep updates every affected row in a
+single broadcast operation against the pivot row.
+
 The engine is validated against the state-vector engine on small circuits in
 the test suite and is used by the QEC layer for circuit-level experiments
-that would not fit in a state vector.
+that would not fit in a state vector.  Measurement histograms follow the
+same keying convention as :class:`~repro.qx.simulator.QXSimulator`: keys are
+ordered by *classical bit* (``Measurement.bit``), lowest bit rightmost, and
+a repeated measurement into one bit keeps only the last outcome.
 """
 
 from __future__ import annotations
@@ -17,10 +25,27 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.circuit import Circuit
-from repro.core.operations import GateOperation, Measurement
+from repro.core.operations import ConditionalGate, GateOperation, Measurement
 
 #: Gates the stabilizer engine accepts, mapped to their tableau update.
 CLIFFORD_GATES = ("i", "x", "y", "z", "h", "s", "sdag", "cnot", "cz", "swap")
+
+
+def _pauli_phase(x1, z1, x2, z2):
+    """Summed phase exponents of multiplying source rows into target rows.
+
+    ``(x1, z1)`` is the source Pauli row and ``(x2, z2)`` the target row(s);
+    the return value is the sum over qubits of Aaronson-Gottesman ``g`` —
+    the exponent of ``i`` picked up by multiplying the rows, taken along the
+    last axis.  Broadcasting a single ``(n,)`` source against an ``(m, n)``
+    block of targets yields all ``m`` phase sums in one expression.
+    """
+    x1 = x1.astype(np.int16)
+    z1 = z1.astype(np.int16)
+    x2 = x2.astype(np.int16)
+    z2 = z2.astype(np.int16)
+    g = x1 * z1 * (z2 - x2) + x1 * (1 - z1) * z2 * (2 * x2 - 1) + (1 - x1) * z1 * x2 * (1 - 2 * z2)
+    return g.sum(axis=-1)
 
 
 class StabilizerState:
@@ -41,8 +66,8 @@ class StabilizerState:
         self.z = np.zeros((2 * n, n), dtype=np.uint8)
         self.r = np.zeros(2 * n, dtype=np.uint8)
         for i in range(n):
-            self.x[i, i] = 1          # destabilizer i = X_i
-            self.z[n + i, i] = 1      # stabilizer i   = Z_i
+            self.x[i, i] = 1  # destabilizer i = X_i
+            self.z[n + i, i] = 1  # stabilizer i   = Z_i
 
     # ------------------------------------------------------------------ #
     # Gates
@@ -89,43 +114,10 @@ class StabilizerState:
         self.apply_cnot(qubit_a, qubit_b)
 
     def apply_gate(self, name: str, qubits: tuple[int, ...]) -> None:
-        handlers = {
-            "i": lambda: None,
-            "x": lambda: self.apply_x(qubits[0]),
-            "y": lambda: self.apply_y(qubits[0]),
-            "z": lambda: self.apply_z(qubits[0]),
-            "h": lambda: self.apply_h(qubits[0]),
-            "s": lambda: self.apply_s(qubits[0]),
-            "sdag": lambda: self.apply_sdag(qubits[0]),
-            "cnot": lambda: self.apply_cnot(qubits[0], qubits[1]),
-            "cz": lambda: self.apply_cz(qubits[0], qubits[1]),
-            "swap": lambda: self.apply_swap(qubits[0], qubits[1]),
-        }
-        if name not in handlers:
+        handler = _GATE_DISPATCH.get(name)
+        if handler is None:
             raise ValueError(f"gate {name!r} is not a Clifford supported by the stabilizer engine")
-        handlers[name]()
-
-    # ------------------------------------------------------------------ #
-    # Row algebra (needed for measurement)
-    # ------------------------------------------------------------------ #
-    def _g(self, x1, z1, x2, z2) -> int:
-        """Phase exponent contribution of multiplying two single-qubit Paulis."""
-        if x1 == 0 and z1 == 0:
-            return 0
-        if x1 == 1 and z1 == 1:  # Y
-            return int(z2) - int(x2)
-        if x1 == 1 and z1 == 0:  # X
-            return int(z2) * (2 * int(x2) - 1)
-        return int(x2) * (1 - 2 * int(z2))  # Z
-
-    def _rowsum(self, h: int, i: int) -> None:
-        """Row h <- row h * row i (Pauli multiplication with phase tracking)."""
-        phase = 2 * int(self.r[h]) + 2 * int(self.r[i])
-        for j in range(self.num_qubits):
-            phase += self._g(self.x[i, j], self.z[i, j], self.x[h, j], self.z[h, j])
-        self.r[h] = 1 if phase % 4 == 2 else 0
-        self.x[h, :] ^= self.x[i, :]
-        self.z[h, :] ^= self.z[i, :]
+        handler(self, *qubits)
 
     # ------------------------------------------------------------------ #
     # Measurement
@@ -135,34 +127,57 @@ class StabilizerState:
         n = self.num_qubits
         q = qubit
         # Random outcome if some stabilizer anticommutes with Z_q.
-        anticommuting = [p for p in range(n, 2 * n) if self.x[p, q]]
-        if anticommuting:
-            p = anticommuting[0]
-            for h in range(2 * n):
-                if h != p and self.x[h, q]:
-                    self._rowsum(h, p)
-            self.x[p - n, :] = self.x[p, :]
-            self.z[p - n, :] = self.z[p, :]
+        pivots = np.nonzero(self.x[n:, q])[0]
+        if pivots.size:
+            p = int(pivots[0]) + n
+            # Every other row carrying an X on q absorbs the pivot row.  The
+            # pivot is invariant during the sweep, so all rows update in one
+            # broadcast against it instead of 2n sequential rowsums.
+            rows = np.nonzero(self.x[:, q])[0]
+            rows = rows[rows != p]
+            if rows.size:
+                phases = (
+                    2 * self.r[rows].astype(np.int16)
+                    + 2 * int(self.r[p])
+                    + _pauli_phase(self.x[p], self.z[p], self.x[rows], self.z[rows])
+                )
+                self.r[rows] = (phases % 4 == 2).astype(np.uint8)
+                self.x[rows] ^= self.x[p]
+                self.z[rows] ^= self.z[p]
+            self.x[p - n] = self.x[p]
+            self.z[p - n] = self.z[p]
             self.r[p - n] = self.r[p]
-            self.x[p, :] = 0
-            self.z[p, :] = 0
+            self.x[p] = 0
+            self.z[p] = 0
             self.z[p, q] = 1
             outcome = int(self.rng.integers(2))
             self.r[p] = outcome
             return outcome
-        # Deterministic outcome: compute the sign of the product of stabilizers.
-        scratch = 2 * n
-        x = np.vstack([self.x, np.zeros((1, n), dtype=np.uint8)])
-        z = np.vstack([self.z, np.zeros((1, n), dtype=np.uint8)])
-        r = np.append(self.r, 0)
-        saved_x, saved_z, saved_r = self.x, self.z, self.r
-        self.x, self.z, self.r = x, z, r
-        for i in range(n):
-            if self.x[i, q]:
-                self._rowsum(scratch, i + n)
-        outcome = int(self.r[scratch])
-        self.x, self.z, self.r = saved_x, saved_z, saved_r
-        return outcome
+        return self._deterministic_outcome(q)
+
+    def _deterministic_outcome(self, qubit: int) -> int:
+        """Sign of the stabilizer product fixing Z_qubit, without mutation.
+
+        Accumulates the product of the stabilizer rows selected by the
+        destabilizer X-column into local scratch arrays — the tableau and the
+        random stream are untouched, so deterministic read-out is side-effect
+        free.
+        """
+        n = self.num_qubits
+        scratch_x = np.zeros(n, dtype=np.uint8)
+        scratch_z = np.zeros(n, dtype=np.uint8)
+        sign = 0
+        for i in np.nonzero(self.x[:n, qubit])[0]:
+            row = int(i) + n
+            phase = (
+                2 * sign
+                + 2 * int(self.r[row])
+                + int(_pauli_phase(self.x[row], self.z[row], scratch_x, scratch_z))
+            )
+            sign = 1 if phase % 4 == 2 else 0
+            scratch_x ^= self.x[row]
+            scratch_z ^= self.z[row]
+        return sign
 
     def measure_all(self) -> list[int]:
         return [self.measure(q) for q in range(self.num_qubits)]
@@ -170,14 +185,20 @@ class StabilizerState:
     def expectation_z_deterministic(self, qubit: int) -> int | None:
         """+1/-1 if <Z_q> is deterministic, None if the outcome is random."""
         n = self.num_qubits
-        if any(self.x[p, qubit] for p in range(n, 2 * n)):
+        if self.x[n:, qubit].any():
             return None
-        probe = self.copy()
-        return 1 if probe.measure(qubit) == 0 else -1
+        return 1 if self._deterministic_outcome(qubit) == 0 else -1
 
     # ------------------------------------------------------------------ #
     def copy(self) -> "StabilizerState":
-        clone = StabilizerState(self.num_qubits, rng=self.rng)
+        """Independent deep copy, including an independently derived rng.
+
+        The clone's generator is spawned from the parent's, so probe
+        measurements on a copy never perturb the parent's random stream
+        (the runtime determinism contract), while remaining a deterministic
+        function of the parent's seed.
+        """
+        clone = StabilizerState(self.num_qubits, rng=self.rng.spawn(1)[0])
         clone.x = self.x.copy()
         clone.z = self.z.copy()
         clone.r = self.r.copy()
@@ -196,28 +217,59 @@ class StabilizerState:
         return strings
 
 
+#: Gate name -> tableau update, resolved once at import time: apply_gate sits
+#: on the per-shot hot path of the auto-dispatched engine, so it must not
+#: rebuild a handler table per call.
+_GATE_DISPATCH = {
+    "i": lambda self, qubit: None,
+    "x": StabilizerState.apply_x,
+    "y": StabilizerState.apply_y,
+    "z": StabilizerState.apply_z,
+    "h": StabilizerState.apply_h,
+    "s": StabilizerState.apply_s,
+    "sdag": StabilizerState.apply_sdag,
+    "cnot": StabilizerState.apply_cnot,
+    "cz": StabilizerState.apply_cz,
+    "swap": StabilizerState.apply_swap,
+}
+
+
 class StabilizerSimulator:
     """Multi-shot Clifford circuit simulator on the tableau engine."""
 
-    def __init__(self, seed: int | None = None):
-        self.rng = np.random.default_rng(seed)
+    def __init__(self, seed: int | None = None, rng: np.random.Generator | None = None):
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
 
     def run(self, circuit: Circuit, shots: int = 1) -> dict[str, int]:
-        """Execute a Clifford circuit and histogram the measured bit-strings."""
+        """Execute a Clifford circuit and histogram the measured bit-strings.
+
+        Histogram keys follow the QX convention: character ``j`` of a key is
+        the outcome of classical bit ``sorted(bits)[-1 - j]`` (lowest bit
+        rightmost), ``Measurement.bit`` cross-maps are honoured, and the last
+        measurement writing a bit wins.  Conditional Clifford gates are
+        evaluated against the bits measured so far.
+        """
         counts: dict[str, int] = {}
-        measured_qubits = [op.qubit for op in circuit.operations if isinstance(op, Measurement)]
         for _ in range(shots):
-            state = StabilizerState(circuit.num_qubits, rng=self.rng)
-            bits: dict[int, int] = {}
-            for op in circuit.operations:
-                if isinstance(op, GateOperation):
-                    state.apply_gate(op.name, op.qubits)
-                elif isinstance(op, Measurement):
-                    bits[op.qubit] = state.measure(op.qubit)
-            if measured_qubits:
-                key = "".join(str(bits[q]) for q in reversed(measured_qubits))
+            bits = self._run_shot(circuit)
+            if bits:
+                key = "".join(str(bits[bit]) for bit in sorted(bits, reverse=True))
                 counts[key] = counts.get(key, 0) + 1
         return counts
+
+    def _run_shot(self, circuit: Circuit) -> dict[int, int]:
+        """One tableau execution; returns the classical bits it wrote."""
+        state = StabilizerState(circuit.num_qubits, rng=self.rng)
+        bits: dict[int, int] = {}
+        for op in circuit.operations:
+            if isinstance(op, GateOperation):
+                state.apply_gate(op.name, op.qubits)
+            elif isinstance(op, Measurement):
+                bits[op.bit] = state.measure(op.qubit)
+            elif isinstance(op, ConditionalGate):
+                if bits.get(op.condition_bit, 0):
+                    state.apply_gate(op.gate.name, op.qubits)
+        return bits
 
     def final_state(self, circuit: Circuit) -> StabilizerState:
         """Tableau after running the gate portion of a circuit."""
@@ -231,8 +283,10 @@ class StabilizerSimulator:
 
     @staticmethod
     def is_clifford_circuit(circuit: Circuit) -> bool:
-        return all(
-            op.name in CLIFFORD_GATES
-            for op in circuit.operations
-            if isinstance(op, GateOperation)
-        )
+        """True when every (conditional) gate is in the supported Clifford set."""
+        for op in circuit.operations:
+            if isinstance(op, GateOperation) and op.name not in CLIFFORD_GATES:
+                return False
+            if isinstance(op, ConditionalGate) and op.gate.name not in CLIFFORD_GATES:
+                return False
+        return True

@@ -24,6 +24,7 @@ from repro.runtime.spec import (
     CompilerSpec,
     ExperimentSpec,
     PlatformSpec,
+    QecSpec,
     SweepPoint,
 )
 
@@ -36,6 +37,7 @@ __all__ = [
     "ExperimentSpec",
     "PlatformSpec",
     "PointResult",
+    "QecSpec",
     "SweepPoint",
     "default_cache_dir",
     "merge_counts",

@@ -31,7 +31,7 @@ from repro.runtime.aggregate import ExperimentResult, PointResult, merge_counts
 from repro.runtime.cache import ArtifactCache, default_cache_dir
 from repro.runtime.seeding import shard_sizes
 from repro.runtime.spec import ExperimentSpec, SweepPoint
-from repro.runtime.worker import ShardTask, program_cache_key, run_shard
+from repro.runtime.worker import QecShardTask, ShardTask, program_cache_key, run_shard
 
 
 def available_workers() -> int:
@@ -144,7 +144,48 @@ class ExperimentRunner:
             tasks=tasks,
         )
 
+    def _plan_qec_point(self, point: SweepPoint) -> PlannedPoint:
+        """Shard one surface-code memory-experiment point.
+
+        No compilation or artifact cache is involved: the point's trial
+        budget (the spec's ``shots``) is sharded with the same layout and
+        seed coordinates as circuit shots, so qec sweeps inherit the
+        bit-identical 1-vs-N-workers contract for free.
+        """
+        from repro.qec.surface_code import PlanarSurfaceCode
+
+        spec = point.spec
+        start = time.perf_counter()
+        qec = spec.qec
+        code = PlanarSurfaceCode(qec.distance)  # validates the distance
+        tasks = [
+            QecShardTask(
+                distance=qec.distance,
+                trials=size,
+                root_seed=spec.seed,
+                point_index=point.index,
+                shard_index=shard_index,
+                rounds=qec.rounds,
+                physical_error_rate=qec.physical_error_rate,
+                measurement_error_rate=qec.measurement_error_rate,
+            )
+            for shard_index, size in enumerate(
+                shard_sizes(spec.shots, spec.max_shard_shots, spec.min_shards)
+            )
+        ]
+        return PlannedPoint(
+            point=point,
+            cqasm="",
+            num_qubits=code.num_physical_qubits,
+            gate_count=0,
+            compile_cached=False,
+            compile_time_s=time.perf_counter() - start,
+            tasks=tasks,
+        )
+
     def plan(self) -> list[PlannedPoint]:
+        if self.spec.kind == "qec":
+            return [self._plan_qec_point(point) for point in self.spec.points()]
         return [self._compile_point(point) for point in self.spec.points()]
 
     # ------------------------------------------------------------------ #

@@ -138,11 +138,46 @@ class CompilerSpec:
 
 
 @dataclass
+class QecSpec:
+    """One surface-code memory experiment (the stabilizer/QEC track).
+
+    An experiment of ``kind="qec"`` runs
+    :meth:`repro.qec.surface_code.PlanarSurfaceCode.run_memory_experiment`
+    instead of a circuit: the spec's ``shots`` budget is the trial count,
+    sharded and seeded exactly like circuit shots, and the merged histogram
+    uses key ``"1"`` for logical failures and ``"0"`` for successes (so
+    ``point.probability("1")`` is the logical error rate).
+    """
+
+    distance: int = 3
+    rounds: int | None = None
+    physical_error_rate: float = 1e-3
+    measurement_error_rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.distance < 3 or self.distance % 2 == 0:
+            raise ValueError("distance must be an odd integer >= 3")
+        if not 0.0 <= self.physical_error_rate <= 1.0:
+            raise ValueError("physical_error_rate outside [0, 1]")
+        read_out = self.measurement_error_rate
+        if read_out is not None and not 0.0 <= read_out <= 1.0:
+            raise ValueError("measurement_error_rate outside [0, 1]")
+        if self.rounds is not None and self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+
+
+@dataclass
 class ExperimentSpec:
-    """One declarative full-stack experiment (possibly a parameter sweep)."""
+    """One declarative full-stack experiment (possibly a parameter sweep).
+
+    ``kind="circuit"`` (the default) compiles and simulates a circuit;
+    ``kind="qec"`` runs a surface-code memory experiment described by the
+    ``qec`` field on the stabilizer/Pauli-frame track.  Both kinds share the
+    sharding, seeding and merging contract.
+    """
 
     name: str
-    circuit: CircuitSpec
+    circuit: CircuitSpec | None = None
     platform: PlatformSpec = field(default_factory=PlatformSpec)
     compiler: CompilerSpec = field(default_factory=CompilerSpec)
     shots: int = 1024
@@ -153,18 +188,32 @@ class ExperimentSpec:
     #: are bit-identical for any parallelism level (see docs/runtime.md).
     max_shard_shots: int = 4096
     min_shards: int = 8
+    kind: str = "circuit"
+    qec: QecSpec | None = None
 
     def __post_init__(self) -> None:
         if self.shots < 1:
             raise ValueError("shots must be >= 1")
+        if self.kind not in ("circuit", "qec"):
+            raise ValueError(f"kind must be 'circuit' or 'qec', got {self.kind!r}")
+        if self.kind == "circuit" and self.circuit is None:
+            raise ValueError("circuit experiments need circuit=")
+        if self.kind == "qec" and self.qec is None:
+            raise ValueError("qec experiments need qec=")
         for key in self.sweep:
             self._check_sweep_key(key)
 
-    @staticmethod
-    def _check_sweep_key(key: str) -> None:
+    def _check_sweep_key(self, key: str) -> None:
         head, _, tail = key.partition(".")
         if key == "shots":
             return
+        if self.kind == "qec":
+            if head == "qec" and tail:
+                return
+            raise ValueError(
+                f"invalid sweep key {key!r} for a qec experiment: expected "
+                "'shots' or 'qec.<field>'"
+            )
         if head in ("circuit", "platform", "compiler") and tail:
             return
         raise ValueError(
@@ -195,6 +244,7 @@ class ExperimentSpec:
             circuit=copy.deepcopy(self.circuit),
             platform=copy.deepcopy(self.platform),
             compiler=copy.deepcopy(self.compiler),
+            qec=copy.deepcopy(self.qec),
             sweep={},
         )
         for key, value in params.items():
@@ -209,10 +259,16 @@ class ExperimentSpec:
                 if not hasattr(bound.compiler, tail):
                     raise ValueError(f"unknown compiler field in sweep key {key!r}")
                 setattr(bound.compiler, tail, value)
+            elif head == "qec":
+                if not hasattr(bound.qec, tail):
+                    raise ValueError(f"unknown qec field in sweep key {key!r}")
+                setattr(bound.qec, tail, value)
             else:  # pragma: no cover - rejected in __post_init__
                 raise ValueError(f"invalid sweep key {key!r}")
         if bound.shots < 1:
             raise ValueError("swept shots must be >= 1")
+        if bound.qec is not None:
+            bound.qec.__post_init__()  # re-validate swept qec fields
         return bound
 
     # ------------------------------------------------------------------ #
@@ -222,11 +278,14 @@ class ExperimentSpec:
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentSpec":
         data = dict(data)
-        data["circuit"] = CircuitSpec(**data["circuit"])
+        if data.get("circuit") is not None:
+            data["circuit"] = CircuitSpec(**data["circuit"])
         if "platform" in data:
             data["platform"] = PlatformSpec(**data["platform"])
         if "compiler" in data:
             data["compiler"] = CompilerSpec(**data["compiler"])
+        if data.get("qec") is not None:
+            data["qec"] = QecSpec(**data["qec"])
         return cls(**data)
 
     def to_json(self, indent: int = 2) -> str:

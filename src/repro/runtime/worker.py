@@ -45,6 +45,26 @@ class ShardResult:
     errors_injected: int = 0
 
 
+@dataclass(frozen=True)
+class QecShardTask:
+    """One batch of surface-code memory-experiment trials.
+
+    The ``kind="qec"`` analogue of :class:`ShardTask`: ``trials`` plays the
+    role of shots and the ``(root seed, point, shard)`` coordinates feed the
+    same :func:`~repro.runtime.seeding.shard_seed` contract, so distance and
+    error-rate sweeps merge bit-identically for any worker count.
+    """
+
+    distance: int
+    trials: int
+    root_seed: int
+    point_index: int
+    shard_index: int
+    rounds: int | None = None
+    physical_error_rate: float = 1e-3
+    measurement_error_rate: float | None = None
+
+
 def program_cache_key(cqasm: str, fuse: bool) -> str:
     """Cache key of a lowered program: compiled text + fusion flag."""
     return ArtifactCache.key_for("program", cqasm=cqasm, fuse=fuse)
@@ -77,8 +97,42 @@ def load_program(task: ShardTask) -> KernelProgram:
     return program
 
 
-def run_shard(task: ShardTask) -> ShardResult:
+def _run_qec_shard(task: QecShardTask) -> ShardResult:
+    """Execute one batch of memory-experiment trials inside a pool worker.
+
+    The histogram uses key ``"1"`` for logical failures and ``"0"`` for
+    successes; ``errors_injected`` carries the space-time defect total, so
+    merged points report the decoder load alongside the failure rate.
+    """
+    from repro.qec.surface_code import PlanarSurfaceCode
+
+    code = PlanarSurfaceCode(task.distance)
+    result = code.run_memory_experiment(
+        task.physical_error_rate,
+        rounds=task.rounds,
+        trials=task.trials,
+        measurement_error_rate=task.measurement_error_rate,
+        seed=shard_seed(task.root_seed, task.point_index, task.shard_index),
+    )
+    counts: dict[str, int] = {}
+    successes = result.trials - result.logical_failures
+    if successes:
+        counts["0"] = successes
+    if result.logical_failures:
+        counts["1"] = result.logical_failures
+    return ShardResult(
+        point_index=task.point_index,
+        shard_index=task.shard_index,
+        shots=task.trials,
+        counts=counts,
+        errors_injected=result.total_defects,
+    )
+
+
+def run_shard(task: ShardTask | QecShardTask) -> ShardResult:
     """Execute one shard and return its merged-ready histogram."""
+    if isinstance(task, QecShardTask):
+        return _run_qec_shard(task)
     program = load_program(task)
     seed = shard_seed(task.root_seed, task.point_index, task.shard_index)
     if _noise_free(task.qubit_model):

@@ -214,3 +214,100 @@ class TestDecoders:
         code = PlanarSurfaceCode(3)
         decoder = MatchingDecoder(code)
         assert decoder.decode([(0, 0), (1, 0)]) == 0
+
+
+class TestVectorizedSurfaceCode:
+    """The incidence-matrix syndrome and batched memory experiment must be
+    exact reimplementations of the per-plaquette/per-round reference."""
+
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_syndrome_matches_reference(self, distance):
+        code = PlanarSurfaceCode(distance)
+        rng = np.random.default_rng(distance)
+        for _ in range(25):
+            errors = (rng.random(code.num_data) < 0.3).astype(np.int8)
+            assert np.array_equal(code.syndrome(errors), code.syndrome_reference(errors))
+
+    def test_syndrome_batch_matches_single(self):
+        code = PlanarSurfaceCode(5)
+        rng = np.random.default_rng(1)
+        errors = (rng.random((12, code.num_data)) < 0.2).astype(np.int8)
+        batched = code.syndrome_batch(errors)
+        assert batched.shape == (12, code.num_ancilla)
+        for row in range(12):
+            assert np.array_equal(batched[row], code.syndrome(errors[row]))
+
+    def test_incidence_matrix_structure(self):
+        code = PlanarSurfaceCode(5)
+        assert code.incidence.shape == (code.num_ancilla, code.num_data)
+        for index, plaquette in enumerate(code.plaquettes):
+            assert code.incidence[index].sum() == len(plaquette)
+            assert set(np.nonzero(code.incidence[index])[0]) == set(plaquette)
+
+    @pytest.mark.parametrize(
+        "distance,p,q",
+        [(3, 0.04, None), (3, 0.02, 0.08), (5, 0.03, None)],
+    )
+    def test_memory_experiment_bit_identical_to_reference(self, distance, p, q):
+        """Same seed, same uniform-draw consumption order: the vectorized
+        experiment reproduces the reference failures and defects exactly."""
+        code = PlanarSurfaceCode(distance)
+        fast = code.run_memory_experiment(
+            p, trials=30, measurement_error_rate=q, seed=17
+        )
+        slow = code.run_memory_experiment_reference(
+            p, trials=30, measurement_error_rate=q, seed=17
+        )
+        assert fast.logical_failures == slow.logical_failures
+        assert fast.total_defects == slow.total_defects
+        assert fast.rounds == slow.rounds
+
+    def test_memory_experiment_accepts_seed_sequence(self):
+        code = PlanarSurfaceCode(3)
+        sequence = np.random.SeedSequence(entropy=5, spawn_key=(1, 2))
+        a = code.run_memory_experiment(0.03, trials=10, seed=sequence)
+        b = code.run_memory_experiment(
+            0.03, trials=10, seed=np.random.SeedSequence(entropy=5, spawn_key=(1, 2))
+        )
+        assert a.logical_failures == b.logical_failures
+        assert a.total_defects == b.total_defects
+
+
+class TestDecoderFastPaths:
+    """decode()'s 1- and 2-defect shortcuts must agree with blossom."""
+
+    @staticmethod
+    def _general_decode(decoder, defects):
+        """The general matching path, bypassing the small-case shortcuts."""
+        matching = decoder._match(defects)
+        parity = 0
+        for (kind_a, index_a), (kind_b, index_b) in matching:
+            if kind_a == "boundary" and kind_b == "boundary":
+                continue
+            if kind_a == "defect" and kind_b == "defect":
+                parity ^= decoder._pair_parity(defects[index_a], defects[index_b])
+            else:
+                defect_index = index_a if kind_a == "defect" else index_b
+                parity ^= decoder._boundary_parity(defects[defect_index])
+        return parity
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_single_defect_matches_blossom(self, distance):
+        code = PlanarSurfaceCode(distance)
+        decoder = MatchingDecoder(code)
+        for ancilla in range(code.num_ancilla):
+            for round_index in (0, 1):
+                defects = [(round_index, ancilla)]
+                assert decoder.decode(defects) == self._general_decode(decoder, defects)
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_defect_pairs_match_blossom(self, distance):
+        code = PlanarSurfaceCode(distance)
+        decoder = MatchingDecoder(code)
+        for a in range(code.num_ancilla):
+            for b in range(a + 1, code.num_ancilla):
+                for rounds in ((0, 0), (0, 2)):
+                    defects = [(rounds[0], a), (rounds[1], b)]
+                    assert decoder.decode(defects) == self._general_decode(
+                        decoder, defects
+                    ), defects

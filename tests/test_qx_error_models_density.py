@@ -151,3 +151,87 @@ class TestDensityMatrix:
         dm.run(bell_pair_circuit())
         bell = QXSimulator(seed=0).statevector(bell_pair_circuit())
         assert dm.fidelity_with_pure(bell) == pytest.approx(1.0)
+
+
+class TestTensorContraction:
+    """apply_unitary/apply_depolarizing by tensor contraction must equal the
+    full 2^n x 2^n matrix conjugation they replaced."""
+
+    @staticmethod
+    def _random_unitary(rng, k):
+        raw = rng.normal(size=(2**k, 2**k)) + 1j * rng.normal(size=(2**k, 2**k))
+        q, _ = np.linalg.qr(raw)
+        return q
+
+    @pytest.mark.parametrize("num_qubits", [2, 3, 4])
+    def test_apply_unitary_matches_expand_gate(self, num_qubits):
+        from repro.core.circuit import _expand_gate
+
+        rng = np.random.default_rng(num_qubits)
+        sim = DensityMatrixSimulator(num_qubits)
+        reference = sim.rho.copy()
+        for _ in range(8):
+            k = int(rng.integers(1, 3))
+            qubits = tuple(int(q) for q in rng.choice(num_qubits, size=k, replace=False))
+            unitary = self._random_unitary(rng, k)
+            sim.apply_unitary(unitary, qubits)
+            full = _expand_gate(unitary, qubits, num_qubits)
+            reference = full @ reference @ full.conj().T
+            assert np.allclose(sim.rho, reference, atol=1e-12)
+
+    def test_depolarizing_matches_kraus_reference(self):
+        from repro.core.circuit import _expand_gate
+
+        paulis = [
+            np.array([[0, 1], [1, 0]], dtype=complex),
+            np.array([[0, -1j], [1j, 0]], dtype=complex),
+            np.array([[1, 0], [0, -1]], dtype=complex),
+        ]
+        rng = np.random.default_rng(9)
+        sim = DensityMatrixSimulator(3)
+        sim.apply_unitary(self._random_unitary(rng, 2), (0, 2))
+        for qubit, probability in ((0, 0.12), (1, 0.4), (2, 0.05)):
+            reference = (1.0 - probability) * sim.rho
+            for pauli in paulis:
+                full = _expand_gate(pauli, (qubit,), 3)
+                reference = reference + (probability / 3.0) * (full @ sim.rho @ full.conj().T)
+            sim.apply_depolarizing(qubit, probability)
+            assert np.allclose(sim.rho, reference, atol=1e-12)
+
+    def test_trace_preserved_and_purity_decays_under_noise(self):
+        """Regression: a noisy random circuit keeps trace 1 exactly while
+        purity falls monotonically from 1 toward the mixed-state floor."""
+        circuit = Circuit(4)
+        circuit.h(0).cnot(0, 1).ry(2, 0.7).cnot(1, 2).rz(3, 1.1).cnot(2, 3).h(3)
+        sim = DensityMatrixSimulator(4, depolarizing_rate=0.05)
+        purities = [sim.purity()]
+        for op in circuit.operations:
+            sim.apply_unitary(op.gate.matrix, op.qubits)
+            for qubit in op.qubits:
+                sim.apply_depolarizing(qubit, sim.depolarizing_rate)
+            assert sim.trace() == pytest.approx(1.0, abs=1e-12)
+            purities.append(sim.purity())
+        assert purities[0] == pytest.approx(1.0, abs=1e-12)
+        assert all(b <= a + 1e-12 for a, b in zip(purities, purities[1:]))
+        assert purities[-1] < 0.8
+        assert sim.purity() >= 1.0 / 2**4 - 1e-12
+
+    def test_depolarizing_handles_non_contiguous_rho(self):
+        """In-place block updates must survive a user-assigned transposed
+        (non-C-contiguous) rho instead of silently writing to a copy."""
+        sim = DensityMatrixSimulator(2)
+        sim.apply_unitary(np.array([[0, 1], [1, 0]], dtype=complex), (0,))
+        sim.rho = sim.rho.T  # non-contiguous view, still a valid state
+        before = sim.rho.copy()
+        sim.apply_depolarizing(0, 0.3)
+        assert not np.allclose(sim.rho, before)
+        assert sim.trace() == pytest.approx(1.0, abs=1e-12)
+
+    def test_contraction_keeps_hermiticity(self):
+        sim = DensityMatrixSimulator(3, depolarizing_rate=0.1)
+        circuit = Circuit(3)
+        circuit.h(0).cnot(0, 1).cnot(1, 2).s(2).h(1)
+        sim.run(circuit)
+        assert np.allclose(sim.rho, sim.rho.conj().T, atol=1e-12)
+        probabilities = sim.probabilities()
+        assert probabilities.sum() == pytest.approx(1.0, abs=1e-12)

@@ -137,3 +137,96 @@ def test_initial_state_override(ideal_simulator):
     one_state = np.array([0.0, 1.0], dtype=complex)
     result = ideal_simulator.run(circuit, shots=10, initial_state=one_state)
     assert result.counts == {"1": 10}
+
+
+class TestCliffordAutoDispatch:
+    """Noise-free all-Clifford circuits beyond the state-vector range are
+    routed to the stabilizer tableau engine with unchanged result format."""
+
+    def test_large_clifford_circuit_runs(self):
+        circuit = ghz_circuit(32)
+        circuit.measure_all()
+        result = QXSimulator(seed=2).run(circuit, shots=60)
+        assert set(result.counts) <= {"0" * 32, "1" * 32}
+        assert sum(result.counts.values()) == 60
+        assert len(result.classical_bits) == 60
+        assert result.num_qubits == 32
+
+    def test_midsize_trajectory_forcing_clifford_dispatches(self, monkeypatch):
+        """Mid-circuit feedback forces per-shot O(2**n) trajectories on the
+        state vector, so the tableau takes over already at 21+ qubits."""
+        calls = []
+        original = QXSimulator._run_stabilizer
+        monkeypatch.setattr(
+            QXSimulator,
+            "_run_stabilizer",
+            lambda self, *args: calls.append(1) or original(self, *args),
+        )
+        circuit = Circuit(21)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.conditional_gate("x", 0, 20)
+        circuit.measure(20)
+        result = QXSimulator(seed=3).run(circuit, shots=30)
+        assert calls, "trajectory-forcing Clifford circuit was not dispatched"
+        assert sum(result.counts.values()) == 30
+
+    def test_midsize_sampled_eligible_clifford_keeps_statevector(self, monkeypatch):
+        """Terminal-measurement circuits keep the flat-in-shots sampled path
+        until the amplitude array itself becomes infeasible."""
+        monkeypatch.setattr(
+            QXSimulator,
+            "_run_stabilizer",
+            lambda *args, **kwargs: pytest.fail("sampled-eligible circuit dispatched"),
+        )
+        circuit = ghz_circuit(21)
+        circuit.measure_all()
+        result = QXSimulator(seed=4).run(circuit, shots=500)
+        assert sum(result.counts.values()) == 500
+        assert set(result.counts) <= {"0" * 21, "1" * 21}
+
+    def test_large_clifford_bit_cross_map(self):
+        circuit = Circuit(26)
+        circuit.x(0)
+        circuit.measure(0, bit=5)
+        circuit.measure(1, bit=2)
+        result = QXSimulator(seed=0).run(circuit, shots=9)
+        assert result.counts == {"10": 9}
+        assert all(bits[5] == 1 and bits[2] == 0 for bits in result.classical_bits)
+
+    def test_large_clifford_conditional_feedback(self):
+        circuit = Circuit(25)
+        circuit.h(0)
+        circuit.cnot(0, 24)
+        circuit.measure(0)
+        circuit.conditional_gate("x", 0, 24)
+        circuit.measure(24)
+        result = QXSimulator(seed=5).run(circuit, shots=80)
+        # Bit 24 (leftmost key character) is always corrected back to 0.
+        assert all(key[0] == "0" for key in result.counts)
+        assert sum(result.counts.values()) == 80
+
+    def test_small_circuits_keep_statevector_path(self, monkeypatch):
+        monkeypatch.setattr(
+            QXSimulator,
+            "_run_stabilizer",
+            lambda *args, **kwargs: pytest.fail("small circuit dispatched to tableau"),
+        )
+        circuit = ghz_circuit(5)
+        circuit.measure_all()
+        result = QXSimulator(seed=0).run(circuit, shots=20)
+        assert sum(result.counts.values()) == 20
+
+    def test_noisy_clifford_keeps_trajectory_path(self, monkeypatch):
+        monkeypatch.setattr(
+            QXSimulator,
+            "_run_stabilizer",
+            lambda *args, **kwargs: pytest.fail("noisy circuit dispatched to tableau"),
+        )
+        circuit = Circuit(2)
+        circuit.h(0)
+        circuit.cnot(0, 1)
+        circuit.measure_all()
+        simulator = QXSimulator(error_model=DepolarizingError(0.01), seed=1)
+        result = simulator.run(circuit, shots=10)
+        assert sum(result.counts.values()) == 10

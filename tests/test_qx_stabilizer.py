@@ -8,6 +8,28 @@ from repro.qx.simulator import QXSimulator
 from repro.qx.stabilizer import StabilizerSimulator, StabilizerState
 
 
+def _basis_clifford_circuit(num_qubits, depth, rng):
+    """Random Clifford circuit from basis-preserving gates (x, y, z, cnot,
+    swap): every measurement outcome is deterministic, so both engines must
+    produce the exact same histogram."""
+    circuit = Circuit(num_qubits, "basis_clifford")
+    gates = ["x", "y", "z", "i"]
+    for _ in range(depth):
+        for qubit in range(num_qubits):
+            roll = rng.random()
+            if num_qubits > 1 and roll < 0.3:
+                other = int(rng.integers(num_qubits - 1))
+                if other >= qubit:
+                    other += 1
+                if roll < 0.15:
+                    circuit.cnot(qubit, other)
+                else:
+                    circuit.swap(qubit, other)
+            else:
+                circuit.add_gate(gates[int(rng.integers(len(gates)))], qubit)
+    return circuit
+
+
 def _clifford_random_circuit(num_qubits, depth, seed):
     rng = np.random.default_rng(seed)
     circuit = Circuit(num_qubits, f"clifford_{seed}")
@@ -108,6 +130,57 @@ class TestStabilizerState:
         clone.apply_x(0)
         assert state.measure(0) == 0
 
+    def test_copy_does_not_share_rng(self):
+        """Probe measurements on a copy must not perturb the parent stream."""
+        state = StabilizerState(2, rng=np.random.default_rng(7))
+        state.apply_h(0)
+        clone = state.copy()
+        assert clone.rng is not state.rng
+        for _ in range(5):
+            clone.copy().measure(0)  # probes consume only derived streams
+        # The parent's stream is exactly where a fresh seed-7 generator is.
+        expected = np.random.default_rng(7).integers(1 << 30)
+        assert int(state.rng.integers(1 << 30)) == int(expected)
+
+    def test_expectation_z_deterministic_does_not_mutate(self):
+        state = StabilizerState(2, rng=np.random.default_rng(3))
+        state.apply_x(0)
+        state.apply_h(1)
+        x_before = state.x.copy()
+        z_before = state.z.copy()
+        r_before = state.r.copy()
+        assert state.expectation_z_deterministic(0) == -1
+        assert state.expectation_z_deterministic(1) is None
+        assert np.array_equal(state.x, x_before)
+        assert np.array_equal(state.z, z_before)
+        assert np.array_equal(state.r, r_before)
+        # No random draw happened either: the stream is still at seed start.
+        expected = np.random.default_rng(3).integers(1 << 30)
+        assert int(state.rng.integers(1 << 30)) == int(expected)
+
+    def test_deterministic_sign_tracks_y_products(self):
+        """Phase bookkeeping through Y: S X S^dag = Y, and H Y H = -Y."""
+        state = StabilizerState(1)
+        state.apply_h(0)
+        state.apply_s(0)
+        # |+i>: measuring Z is random.
+        assert state.expectation_z_deterministic(0) is None
+        state.apply_sdag(0)
+        state.apply_h(0)
+        assert state.expectation_z_deterministic(0) == 1
+
+    def test_batched_measurement_collapse_matches_sequential_semantics(self):
+        """A 30-qubit GHZ collapse exercises the broadcast anticommuting-row
+        sweep: after the first (random) outcome all others are determined."""
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            state = StabilizerState(30, rng=rng)
+            state.apply_h(0)
+            for qubit in range(29):
+                state.apply_cnot(qubit, qubit + 1)
+            first = state.measure(0)
+            assert all(state.measure(q) == first for q in range(1, 30))
+
 
 class TestStabilizerSimulator:
     def test_bell_counts(self):
@@ -163,3 +236,109 @@ class TestStabilizerSimulator:
         assert set(stab_counts) == set(sv_counts)
         for key in stab_counts:
             assert abs(stab_counts[key] - sv_counts[key]) < 120
+
+
+class TestCrossEngineKeying:
+    """The stabilizer engine must key histograms exactly like QX: by
+    classical bit, sorted, lowest bit rightmost, last write wins."""
+
+    def test_bit_cross_map_keying(self):
+        circuit = Circuit(3)
+        circuit.x(0)
+        circuit.measure(0, bit=2)
+        circuit.measure(1, bit=0)
+        stab = StabilizerSimulator(seed=1).run(circuit, shots=5)
+        qx = QXSimulator(seed=1).run(circuit, shots=5).counts
+        assert stab == qx == {"10": 5}
+
+    def test_out_of_order_measurements(self):
+        circuit = Circuit(3)
+        circuit.x(2)
+        circuit.measure(2)
+        circuit.measure(0)
+        stab = StabilizerSimulator(seed=2).run(circuit, shots=4)
+        qx = QXSimulator(seed=2).run(circuit, shots=4).counts
+        assert stab == qx == {"10": 4}
+
+    def test_repeated_measurement_keeps_single_key_character(self):
+        """The seed implementation duplicated repeated measurements in the
+        key ("11" for one twice-measured qubit); both engines now emit one
+        character per classical bit."""
+        circuit = Circuit(2)
+        circuit.x(0)
+        circuit.measure(0)
+        circuit.measure(0)
+        stab = StabilizerSimulator(seed=3).run(circuit, shots=6)
+        qx = QXSimulator(seed=3).run(circuit, shots=6).counts
+        assert stab == qx == {"1": 6}
+
+    def test_repeated_measurement_after_collapse_is_stable(self):
+        """Measuring a superposed qubit twice: the second outcome equals the
+        first in both engines, so only the collapsed keys appear."""
+        circuit = Circuit(1)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.measure(0)
+        stab = StabilizerSimulator(seed=5).run(circuit, shots=200)
+        qx = QXSimulator(seed=6).run(circuit, shots=200).counts
+        assert set(stab) <= {"0", "1"}
+        assert set(qx) <= {"0", "1"}
+        assert sum(stab.values()) == 200
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_random_clifford_with_remapped_bits_agree_exactly(self, seed):
+        """Deterministic-outcome Clifford circuits with shuffled/overlapping
+        bit maps and repeated measurements: histograms must be identical."""
+        rng = np.random.default_rng(seed)
+        num_qubits = 4
+        circuit = _basis_clifford_circuit(num_qubits, 4, rng)
+        bit_map = rng.permutation(num_qubits)
+        order = rng.permutation(num_qubits)
+        for qubit in order:
+            circuit.measure(int(qubit), bit=int(bit_map[qubit]))
+        # A repeated measurement of one qubit into another bit (last wins).
+        repeat = int(order[0])
+        circuit.measure(repeat, bit=int(bit_map[repeat]))
+        stab = StabilizerSimulator(seed=seed).run(circuit, shots=8)
+        qx = QXSimulator(seed=seed).run(circuit, shots=8).counts
+        assert stab == qx
+        assert len(next(iter(stab))) == num_qubits
+
+    @pytest.mark.parametrize("seed", [13, 14])
+    def test_random_clifford_superpositions_same_support(self, seed):
+        circuit = _clifford_random_circuit(3, 5, seed)
+        # Out-of-order, partially remapped measurements.
+        circuit.measure(2, bit=0)
+        circuit.measure(0, bit=2)
+        circuit.measure(1)
+        stab = StabilizerSimulator(seed=21).run(circuit, shots=600)
+        qx = QXSimulator(seed=21).run(circuit, shots=600).counts
+        assert set(stab) == set(qx)
+        for key in stab:
+            assert abs(stab[key] - qx[key]) < 120
+
+    def test_conditional_clifford_feedback(self):
+        """Entangle, measure, correct: the conditional X always resets q1."""
+        circuit = Circuit(2)
+        circuit.h(0)
+        circuit.cnot(0, 1)
+        circuit.measure(0)
+        circuit.conditional_gate("x", 0, 1)
+        circuit.measure(1)
+        stab = StabilizerSimulator(seed=4).run(circuit, shots=100)
+        qx = QXSimulator(seed=4).run(circuit, shots=100).counts
+        # Key character 0 is bit 1 (sorted, lowest rightmost): always 0.
+        assert set(stab) == set(qx) == {"00", "01"}
+        assert sum(stab.values()) == 100
+
+    def test_is_clifford_rejects_non_clifford_conditionals(self):
+        circuit = Circuit(2)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.conditional_gate("t", 0, 1)
+        assert not StabilizerSimulator.is_clifford_circuit(circuit)
+        clifford = Circuit(2)
+        clifford.h(0)
+        clifford.measure(0)
+        clifford.conditional_gate("x", 0, 1)
+        assert StabilizerSimulator.is_clifford_circuit(clifford)

@@ -23,6 +23,7 @@ from repro.runtime import (
     ExperimentRunner,
     ExperimentSpec,
     PlatformSpec,
+    QecSpec,
     shard_seed,
     shard_sizes,
 )
@@ -214,3 +215,75 @@ def test_artifact_cache_roundtrips_kernel_programs(tmp_path):
             assert restored.matrix is None
         else:
             assert np.array_equal(original.matrix, restored.matrix)
+
+
+# ---------------------------------------------------------------------- #
+# QEC experiment kind: surface-code sweeps on the same contract
+# ---------------------------------------------------------------------- #
+def _qec_spec(**overrides) -> ExperimentSpec:
+    settings = dict(
+        name="determinism-qec",
+        kind="qec",
+        qec=QecSpec(distance=3, physical_error_rate=0.02),
+        shots=60,  # trials
+        seed=13,
+        sweep={"qec.distance": [3, 5], "qec.physical_error_rate": [0.01, 0.05]},
+    )
+    settings.update(overrides)
+    return ExperimentSpec(**settings)
+
+
+def test_qec_sweep_identical_for_one_and_many_workers():
+    spec = _qec_spec()
+    serial = ExperimentRunner(spec, workers=1, use_cache=False).run()
+    parallel = ExperimentRunner(spec, workers=4, use_cache=False).run()
+    assert _histograms(serial) == _histograms(parallel)
+    # Defect totals (errors_injected) merge deterministically too.
+    assert [p.errors_injected for p in serial.points] == [
+        p.errors_injected for p in parallel.points
+    ]
+    assert [p.params for p in serial.points] == [p.params for p in parallel.points]
+    assert all(point.shots == 60 for point in serial.points)
+    assert len(serial.points) == 4
+
+
+def test_qec_sweep_independent_of_cache(tmp_path):
+    """QEC points bypass the artifact cache; enabling it must not matter."""
+    spec = _qec_spec(sweep={"qec.physical_error_rate": [0.01, 0.05]})
+    cached = ExperimentRunner(spec, workers=1, cache_dir=tmp_path / "cache").run()
+    uncached = ExperimentRunner(spec, workers=1, use_cache=False).run()
+    assert _histograms(cached) == _histograms(uncached)
+
+
+def test_qec_shard_task_executes_standalone():
+    spec = _qec_spec(sweep={})
+    planned = ExperimentRunner(spec, workers=1, use_cache=False).plan()
+    assert len(planned) == 1
+    assert len(planned[0].tasks) == len(shard_sizes(60))
+    task = planned[0].tasks[0]
+    first = run_shard(task)
+    second = run_shard(task)
+    assert first.counts == second.counts
+    assert first.errors_injected == second.errors_injected
+    assert first.shots == task.trials
+
+
+def test_qec_point_failure_rate_matches_direct_run():
+    """Merged shard failures equal a direct sharded-by-hand computation."""
+    from repro.qec.surface_code import PlanarSurfaceCode
+
+    spec = _qec_spec(sweep={}, shots=40)
+    result = ExperimentRunner(spec, workers=2, use_cache=False).run()
+    point = result.points[0]
+    code = PlanarSurfaceCode(3)
+    failures = 0
+    defects = 0
+    for shard_index, size in enumerate(shard_sizes(40)):
+        shard = code.run_memory_experiment(
+            0.02, trials=size, seed=shard_seed(13, 0, shard_index)
+        )
+        failures += shard.logical_failures
+        defects += shard.total_defects
+    assert point.counts.get("1", 0) == failures
+    assert point.errors_injected == defects
+    assert point.shots == 40

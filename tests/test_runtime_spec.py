@@ -15,6 +15,7 @@ from repro.runtime import (
     ExperimentRunner,
     ExperimentSpec,
     PlatformSpec,
+    QecSpec,
 )
 from repro.runtime.spec import resolve_reference
 
@@ -167,3 +168,120 @@ def test_cli_exits_nonzero_on_bad_input(tmp_path):
     completed = _run_cli("--circuit", "does-not-exist", "--shots", "4")
     assert completed.returncode == 1
     assert "error:" in completed.stderr
+
+
+# ---------------------------------------------------------------------- #
+# QEC experiment kind
+# ---------------------------------------------------------------------- #
+def test_qec_spec_json_roundtrip():
+    spec = ExperimentSpec(
+        name="qec-roundtrip",
+        kind="qec",
+        qec=QecSpec(distance=5, rounds=4, physical_error_rate=0.01),
+        shots=200,
+        seed=3,
+        sweep={"qec.distance": [3, 5, 7], "qec.physical_error_rate": [0.005, 0.02]},
+    )
+    restored = ExperimentSpec.from_json(spec.to_json())
+    assert restored == spec
+    assert isinstance(restored.qec, QecSpec)
+    assert restored.circuit is None
+    points = restored.points()
+    assert len(points) == 6
+    assert points[0].spec.qec.distance == 3
+    assert points[-1].spec.qec.physical_error_rate == 0.02
+
+
+def test_qec_spec_validation():
+    with pytest.raises(ValueError):
+        ExperimentSpec(name="no-qec", kind="qec")  # missing qec=
+    with pytest.raises(ValueError):
+        ExperimentSpec(name="no-circuit")  # circuit kind without circuit=
+    with pytest.raises(ValueError):
+        ExperimentSpec(name="bad-kind", kind="qqec", qec=QecSpec())
+    with pytest.raises(ValueError):
+        QecSpec(distance=4)
+    with pytest.raises(ValueError):
+        QecSpec(physical_error_rate=1.5)
+    with pytest.raises(ValueError):
+        QecSpec(measurement_error_rate=7.0)
+    with pytest.raises(ValueError):
+        QecSpec(rounds=0)
+    # Swept out-of-range values are caught at binding time too.
+    with pytest.raises(ValueError):
+        ExperimentSpec(
+            name="bad-rate",
+            kind="qec",
+            qec=QecSpec(),
+            sweep={"qec.measurement_error_rate": [0.1, 1.5]},
+        ).points()
+
+
+def test_qec_sweep_keys_are_kind_specific():
+    with pytest.raises(ValueError):
+        ExperimentSpec(
+            name="bad-sweep",
+            kind="qec",
+            qec=QecSpec(),
+            sweep={"platform.error_rate": [0.1]},
+        )
+    with pytest.raises(ValueError):
+        _spec(sweep={"qec.distance": [3, 5]})  # circuit kind rejects qec.*
+    # Swept qec values are re-validated at binding time.
+    swept = ExperimentSpec(
+        name="bad-distance", kind="qec", qec=QecSpec(), sweep={"qec.distance": [3, 4]}
+    )
+    with pytest.raises(ValueError):
+        swept.points()
+    with pytest.raises(ValueError):
+        ExperimentSpec(
+            name="bad-field", kind="qec", qec=QecSpec(), sweep={"qec.bogus": [1]}
+        ).points()
+
+
+def test_qec_runner_reports_logical_error_rate(tmp_path):
+    spec = ExperimentSpec(
+        name="qec-run",
+        kind="qec",
+        qec=QecSpec(distance=3, physical_error_rate=0.08),
+        shots=80,
+        seed=2,
+    )
+    result = ExperimentRunner(spec, workers=1, use_cache=False).run()
+    point = result.points[0]
+    assert point.shots == 80
+    assert sum(point.counts.values()) == 80
+    assert 0.0 <= point.probability("1") <= 1.0
+    # d=3 at p=0.08 is near threshold: failures all but certain in 80 trials.
+    assert point.counts.get("1", 0) > 0
+    assert point.errors_injected > 0
+
+
+def test_cli_runs_qec_sweep(tmp_path):
+    output = tmp_path / "qec.json"
+    completed = _run_cli(
+        "--kind", "qec", "--distance", "3",
+        "--error-rate", "0.02",
+        "--sweep", "qec.distance=3,5",
+        "--shots", "60", "--seed", "9", "--workers", "2",
+        "--output", str(output),
+    )
+    assert completed.returncode == 0, completed.stderr
+    payload = json.loads(output.read_text())
+    assert payload["total_shots"] == 120
+    assert len(payload["points"]) == 2
+    assert payload["points"][0]["params"] == {"qec.distance": 3}
+    for point in payload["points"]:
+        assert sum(point["counts"].values()) == 60
+
+
+def test_cli_rejects_bad_qec_distance():
+    completed = _run_cli("--kind", "qec", "--distance", "4", "--shots", "10")
+    assert completed.returncode == 1
+    assert "error:" in completed.stderr
+
+
+def test_cli_rejects_circuit_flags_with_qec_kind():
+    completed = _run_cli("--kind", "qec", "--circuit", "qft", "--shots", "10")
+    assert completed.returncode != 0
+    assert "--circuit" in completed.stderr
