@@ -21,6 +21,15 @@ counts logical failures::
     python scripts/run_experiment.py --kind qec --distance 5 --error-rate 0.01 \
         --sweep qec.distance=3,5,7 --shots 2000 --workers 4
 
+Compile-and-map sweeps run the full pass pipeline (placement, hybrid-aware
+routing, scheduling) against a constrained topology and report mapping
+metrics (SWAPs, overhead, makespan, locality) per point with ``--kind
+compile``::
+
+    python scripts/run_experiment.py --kind compile --circuit random --qubits 16 \
+        --circuit-arg depth=20 --circuit-arg seed=7 --topology grid \
+        --sweep compile.placement=trivial,greedy --sweep compile.router=path,sabre
+
 Exits 0 on success, 1 on any failure.
 """
 
@@ -70,8 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--kind",
         default="circuit",
-        choices=("circuit", "qec"),
-        help="experiment kind: compiled circuit or surface-code memory experiment",
+        choices=("circuit", "qec", "compile"),
+        help=(
+            "experiment kind: compiled circuit, surface-code memory experiment, "
+            "or compile-and-map pipeline sweep"
+        ),
     )
     parser.add_argument(
         "--distance", type=int, default=3, help="surface-code distance (--kind qec)"
@@ -84,6 +96,38 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="ancilla read-out error rate (--kind qec; defaults to the physical rate)",
+    )
+    parser.add_argument(
+        "--placement",
+        default=None,
+        choices=("greedy", "trivial"),
+        help="initial placement strategy (--kind compile)",
+    )
+    parser.add_argument(
+        "--router",
+        default=None,
+        choices=("sabre", "path"),
+        help="SWAP-selection mode (--kind compile)",
+    )
+    parser.add_argument(
+        "--topology",
+        default=None,
+        help="target topology short name, e.g. grid, linear, heavy_hex (--kind compile)",
+    )
+    parser.add_argument(
+        "--rows", type=int, default=None, help="grid topology rows (--kind compile)"
+    )
+    parser.add_argument(
+        "--cols",
+        type=int,
+        default=None,
+        help="grid columns, or site count for sized non-grid topologies (--kind compile)",
+    )
+    parser.add_argument(
+        "--schedule-policy",
+        default=None,
+        choices=("asap", "alap"),
+        help="list-scheduling policy (--kind compile)",
     )
     parser.add_argument(
         "--circuit", default="ghz", help="circuit builder (registry name or module:function)"
@@ -140,12 +184,58 @@ def _circuit_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+_COMPILE_FLAGS = ("placement", "router", "topology", "rows", "cols", "schedule_policy")
+
+
+def _reject_compile_flags(args: argparse.Namespace) -> None:
+    conflicting = [
+        f"--{name.replace('_', '-')}" for name in _COMPILE_FLAGS if getattr(args, name) is not None
+    ]
+    if conflicting:
+        raise SystemExit(f"error: {', '.join(conflicting)} only apply to --kind compile")
+
+
 def spec_from_args(args: argparse.Namespace):
-    from repro.runtime import CircuitSpec, CompilerSpec, ExperimentSpec, PlatformSpec, QecSpec
+    from repro.runtime import (
+        CircuitSpec,
+        CompilerSpec,
+        CompileSpec,
+        ExperimentSpec,
+        PlatformSpec,
+        QecSpec,
+    )
 
     if args.spec:
         with open(args.spec) as handle:
             return ExperimentSpec.from_dict(json.load(handle))
+    if args.kind == "compile":
+        conflicting = []
+        if args.platform != "perfect":
+            conflicting.append("--platform")
+        if args.error_rate is not None:
+            conflicting.append("--error-rate")
+        if args.no_compile:
+            conflicting.append("--no-compile")
+        if conflicting:
+            raise SystemExit(f"error: {', '.join(conflicting)} do not apply to --kind compile")
+        defaults = CompileSpec()
+        return ExperimentSpec(
+            name=args.name,
+            kind="compile",
+            circuit=CircuitSpec(builder=args.circuit, kwargs=_circuit_kwargs(args)),
+            compile=CompileSpec(
+                placement=args.placement or defaults.placement,
+                router=args.router or defaults.router,
+                topology=args.topology or defaults.topology,
+                rows=args.rows,
+                cols=args.cols,
+                schedule_policy=args.schedule_policy or defaults.schedule_policy,
+            ),
+            shots=args.shots,
+            seed=args.seed,
+            sweep=_parse_sweep(args.sweep),
+        )
+    _reject_compile_flags(args)
     if args.kind == "qec":
         conflicting = []
         if args.circuit != "ghz":
@@ -199,11 +289,15 @@ def print_report(result) -> None:
         print(f"artifact cache: {result.cache_stats}")
     for point in result.points:
         label = ", ".join(f"{key}={value}" for key, value in point.params.items()) or "-"
-        top = sorted(point.counts.items(), key=lambda item: -item[1])[:4]
-        histogram = "  ".join(f"{bits}:{count}" for bits, count in top)
+        if point.metrics:
+            shown = ("swaps", "routing_overhead", "makespan_ns", "locality")
+            tail = "  ".join(f"{key}={point.metrics[key]}" for key in shown if key in point.metrics)
+        else:
+            top = sorted(point.counts.items(), key=lambda item: -item[1])[:4]
+            tail = "  ".join(f"{bits}:{count}" for bits, count in top)
         print(
             f"  [{point.index}] {label:40s} shots={point.shots:<6d} "
-            f"gates={point.gate_count:<4d} cached={str(point.compile_cached):5s} {histogram}"
+            f"gates={point.gate_count:<4d} cached={str(point.compile_cached):5s} {tail}"
         )
 
 

@@ -32,16 +32,25 @@ class CircuitDAG:
     def _build(self) -> None:
         last_use: dict[int, int] = {}
         last_bit_writer: dict[int, int] = {}
+        bit_readers_since_write: dict[int, list[int]] = {}
         last_barrier: int | None = None
         for index, op in enumerate(self.circuit.operations):
             self.graph.add_node(index, operation=op)
             predecessors: set[int] = set()
-            # Classical data dependencies: a conditional gate must follow the
-            # measurement that produced its condition bit.
+            # Classical data hazards.  RAW: a conditional gate must follow
+            # the measurement that produced its condition bit.  WAR: a
+            # measurement overwriting a bit must follow every conditional
+            # gate that read the previous value.  WAW: successive writes to
+            # one bit stay ordered so "last write wins" survives scheduling.
             if isinstance(op, Measurement):
+                predecessors.update(bit_readers_since_write.pop(op.bit, ()))
+                if op.bit in last_bit_writer:
+                    predecessors.add(last_bit_writer[op.bit])
                 last_bit_writer[op.bit] = index
-            if isinstance(op, ConditionalGate) and op.condition_bit in last_bit_writer:
-                predecessors.add(last_bit_writer[op.condition_bit])
+            if isinstance(op, ConditionalGate):
+                if op.condition_bit in last_bit_writer:
+                    predecessors.add(last_bit_writer[op.condition_bit])
+                bit_readers_since_write.setdefault(op.condition_bit, []).append(index)
             if isinstance(op, Barrier):
                 # A barrier depends on every operation since the last barrier.
                 predecessors.update(last_use.values())

@@ -301,7 +301,18 @@ def standard_gate_set() -> GateSet:
 
 
 def build_gate(name: str, *params: float) -> Gate:
-    """Construct a gate by mnemonic, e.g. ``build_gate('rx', 0.5)``."""
+    """Construct a gate by mnemonic, e.g. ``build_gate('rx', 0.5)``.
+
+    Dispatches straight to the gate's builder: constructing a one-off
+    ``standard_gate_set()`` (sixteen gate matrices) per call made this the
+    hot path of circuit construction and SWAP-heavy routing.
+    """
+    if params and name in _PARAMETRIC_BUILDERS:
+        return _PARAMETRIC_BUILDERS[name](*params)
+    if params and name == "crk":
+        return crk_gate(int(params[0]))
+    if not params and name in _FIXED_BUILDERS:
+        return _FIXED_BUILDERS[name]()
     return standard_gate_set().get(name, *params)
 
 

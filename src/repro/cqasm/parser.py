@@ -33,6 +33,12 @@ _NUMBER_RE = re.compile(r"^[-+]?(\d+\.?\d*|\.\d+)([eE][-+]?\d+)?$")
 #: Gates that consume one trailing numeric parameter.
 _PARAMETRIC_GATES = {"rx", "ry", "rz", "cr", "phase"}
 
+#: Classical bits live in their own (implicit) register that may exceed the
+#: qubit count — cross-mapped measurements after routing do exactly that —
+#: but the simulator allocates the register densely, so typo-sized indices
+#: are rejected rather than turned into multi-terabyte allocations.
+_MAX_CLASSICAL_BITS = 4096
+
 
 def parse_cqasm(text: str) -> CqasmProgram:
     """Parse cQASM source text into a :class:`CqasmProgram`."""
@@ -104,7 +110,14 @@ def _parse_statement(line: str, line_number: int, num_qubits: int) -> list[Cqasm
                 continue
             match = _BIT_OPERAND_RE.match(operand)
             if match:
-                bits.extend(_expand_range(match, num_qubits, line_number))
+                expanded = _expand_range(match, None, line_number)
+                if expanded and max(expanded) >= _MAX_CLASSICAL_BITS:
+                    raise CqasmSyntaxError(
+                        f"classical bit index {max(expanded)} exceeds the supported "
+                        f"register size {_MAX_CLASSICAL_BITS}",
+                        line_number,
+                    )
+                bits.extend(expanded)
                 continue
             if _NUMBER_RE.match(operand):
                 params.append(float(operand))
@@ -115,9 +128,11 @@ def _parse_statement(line: str, line_number: int, num_qubits: int) -> list[Cqasm
             raise CqasmSyntaxError(f"cannot parse operand {operand!r}", line_number)
 
     # Broadcast single-qubit mnemonics over a qubit range: "x q[0:3]" means
-    # x on each of q0..q3.
+    # x on each of q0..q3.  Conditional gates broadcast by their *base*
+    # mnemonic, so "c-cnot q[0], q[1], b[2]" stays one two-qubit operation.
+    base = mnemonic[2:] if mnemonic.startswith("c-") else mnemonic
     if mnemonic in ("measure", "prep_z", "prep_x", "prep_y") or (
-        len(qubits) > 1 and mnemonic not in _TWO_QUBIT_MNEMONICS and mnemonic != "barrier"
+        len(qubits) > 1 and base not in _TWO_QUBIT_MNEMONICS and mnemonic != "barrier"
     ):
         if len(qubits) > 1:
             return [
@@ -134,12 +149,12 @@ def _parse_statement(line: str, line_number: int, num_qubits: int) -> list[Cqasm
 _TWO_QUBIT_MNEMONICS = {"cnot", "cx", "cz", "swap", "cr", "crk", "toffoli"}
 
 
-def _expand_range(match: re.Match, num_qubits: int, line_number: int) -> list[int]:
+def _expand_range(match: re.Match, num_qubits: int | None, line_number: int) -> list[int]:
     start = int(match.group(1))
     end = int(match.group(2)) if match.group(2) is not None else start
     if end < start:
         raise CqasmSyntaxError("descending operand range", line_number)
-    if end >= num_qubits:
+    if num_qubits is not None and end >= num_qubits:
         raise CqasmSyntaxError(
             f"operand index {end} exceeds register size {num_qubits}", line_number
         )
@@ -158,11 +173,21 @@ _MNEMONIC_ALIASES = {
 
 
 def cqasm_to_circuit(text: str) -> Circuit:
-    """Parse cQASM text and build a single flattened circuit."""
+    """Parse cQASM text and build a single flattened circuit.
+
+    The classical register grows to cover every referenced bit index, so a
+    program whose measurements target bits beyond the qubit count (e.g. a
+    routed kernel with cross-mapped measurements) keeps a wide-enough
+    ``num_bits``.
+    """
     program = parse_cqasm(text)
     circuit = Circuit(program.num_qubits, name="cqasm")
+    highest_bit = -1
     for instruction in program.all_instructions():
         _apply_instruction(circuit, instruction)
+        if instruction.bits:
+            highest_bit = max(highest_bit, max(instruction.bits))
+    circuit.num_bits = max(circuit.num_bits, highest_bit + 1)
     return circuit
 
 

@@ -38,7 +38,11 @@ def operation_to_instruction(op) -> CqasmInstruction:
         # crk stores its integer k as a parameter.
         return CqasmInstruction(mnemonic=mnemonic, qubits=op.qubits, params=params)
     if isinstance(op, Measurement):
-        return CqasmInstruction(mnemonic="measure", qubits=(op.qubit,))
+        # Cross-mapped measurements (bit != qubit, e.g. after routing) keep
+        # their classical destination as an explicit bit operand; the default
+        # bit == qubit mapping stays implicit for readable output.
+        bits = (op.bit,) if op.bit != op.qubit else ()
+        return CqasmInstruction(mnemonic="measure", qubits=(op.qubit,), bits=bits)
     if isinstance(op, Barrier):
         return CqasmInstruction(mnemonic="barrier", qubits=op.qubits)
     if isinstance(op, ClassicalOperation):

@@ -6,7 +6,7 @@ qubits onto physical locations, route qubit states next to each other (by
 inserting SWAP/MOVE operations) and schedule the resulting operations.
 """
 
-from repro.mapping.topology import Topology, grid_topology, linear_topology, surface7_topology, surface17_topology, fully_connected_topology
+from repro.mapping.topology import Topology, grid_topology, linear_topology, square_grid_topology, surface7_topology, surface17_topology, fully_connected_topology
 from repro.mapping.placement import trivial_placement, greedy_placement
 from repro.mapping.routing import Router, RoutingResult
 from repro.mapping.scheduling import Scheduler, Schedule, ScheduledOperation
@@ -16,6 +16,7 @@ __all__ = [
     "Topology",
     "grid_topology",
     "linear_topology",
+    "square_grid_topology",
     "surface7_topology",
     "surface17_topology",
     "fully_connected_topology",

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.core.circuit import Circuit
 from repro.core.dag import CircuitDAG
-from repro.core.operations import Barrier, GateOperation, Operation
+from repro.core.operations import Barrier, ConditionalGate, GateOperation, Operation
 
 
 @dataclass
@@ -57,8 +57,15 @@ class Schedule:
             return 0.0
         return len(self.entries) / len(cycles)
 
-    def validate(self) -> None:
-        """Check that no qubit executes two operations at once and deps hold."""
+    def validate(self, dag: CircuitDAG | None = None) -> None:
+        """Check that no qubit executes two operations at once and deps hold.
+
+        Dependency order is verified against the circuit's
+        :class:`~repro.core.dag.CircuitDAG` — including the classical
+        RAW/WAR/WAW hazard edges — so a schedule that lets a measurement
+        overwrite a bit before the conditional gate that reads it is
+        rejected, not silently accepted.
+        """
         busy: dict[int, list[tuple[int, int]]] = {}
         for entry in self.entries:
             if isinstance(entry.operation, Barrier):
@@ -71,6 +78,28 @@ class Schedule:
                             f"[{entry.start},{entry.end})"
                         )
                 busy.setdefault(qubit, []).append((entry.start, entry.end))
+        if dag is None:
+            dag = CircuitDAG(self.circuit)
+        # Pair DAG nodes with entries by operation identity; repeated
+        # operation objects (e.g. flattened kernel iterations) pair in
+        # start-time order, the only order a valid schedule can use.
+        entries_for: dict[int, list[ScheduledOperation]] = {}
+        for entry in sorted(self.entries, key=lambda item: item.start):
+            entries_for.setdefault(id(entry.operation), []).append(entry)
+        scheduled: dict[int, ScheduledOperation] = {}
+        for node in range(dag.num_nodes()):
+            bucket = entries_for.get(id(dag.operation(node)))
+            if bucket:
+                scheduled[node] = bucket.pop(0)
+        for pred, succ in dag.graph.edges:
+            if pred not in scheduled or succ not in scheduled:
+                continue
+            if scheduled[succ].start < scheduled[pred].end:
+                raise ValueError(
+                    f"dependency violated: {dag.operation(succ).name!r} starts at "
+                    f"{scheduled[succ].start} before {dag.operation(pred).name!r} "
+                    f"ends at {scheduled[pred].end}"
+                )
 
 
 class Scheduler:
@@ -99,7 +128,7 @@ class Scheduler:
             for node, start in sorted(start_times.items(), key=lambda kv: (kv[1], kv[0]))
         ]
         schedule = Schedule(circuit=circuit, entries=entries, policy=self.policy)
-        schedule.validate()
+        schedule.validate(dag)
         return schedule
 
     # ------------------------------------------------------------------ #
@@ -140,7 +169,7 @@ class Scheduler:
             by_start: dict[int, list[int]] = {}
             for node, start in adjusted.items():
                 op = dag.operation(node)
-                if isinstance(op, GateOperation) and len(op.qubits) == 2:
+                if isinstance(op, (GateOperation, ConditionalGate)) and len(op.qubits) == 2:
                     by_start.setdefault(start, []).append(node)
             for start, nodes in sorted(by_start.items()):
                 if len(nodes) <= limit:

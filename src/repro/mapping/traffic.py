@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.circuit import Circuit
-from repro.core.operations import GateOperation
+from repro.core.operations import ConditionalGate, GateOperation
 from repro.mapping.routing import RoutingResult
 
 
@@ -61,13 +61,18 @@ class TrafficAnalyzer:
     """Measure qubit-state movement in circuits and routing results."""
 
     def analyze_circuit(self, circuit: Circuit) -> TrafficReport:
-        """Count SWAP-induced movement in an already-routed circuit."""
+        """Count SWAP-induced movement in an already-routed circuit.
+
+        Hybrid-aware: conditional gates are compute, exactly like their
+        unconditional counterparts, so feedback-heavy circuits are not
+        scored as movement-dominated just for being hybrid.
+        """
         movement = 0
         compute = 0
         hops = 0
         moves: dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
         for op in circuit.operations:
-            if not isinstance(op, GateOperation):
+            if not isinstance(op, (GateOperation, ConditionalGate)):
                 continue
             if op.name == "swap":
                 movement += 1

@@ -38,9 +38,15 @@ class CompilationResult:
     compile_time_s: float = 0.0
 
     def flat_circuit(self) -> Circuit:
-        """Flatten all kernels (honouring iteration counts) into one circuit."""
+        """Flatten all kernels (honouring iteration counts) into one circuit.
+
+        Classical register width is preserved: the flat circuit carries the
+        widest kernel's ``num_bits`` so bit-indexed results (cross-mapped
+        measurements, conditional feedback) stay addressable downstream.
+        """
         num_qubits = max(k.num_qubits for k in self.kernels)
-        flat = Circuit(num_qubits, name=self.program_name)
+        num_bits = max(max(k.num_bits for k in self.kernels), num_qubits)
+        flat = Circuit(num_qubits, name=self.program_name, num_bits=num_bits)
         for circuit, iterations in zip(self.kernels, self.kernel_iterations):
             for _ in range(iterations):
                 for op in circuit.operations:

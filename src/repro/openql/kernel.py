@@ -100,9 +100,15 @@ class Kernel:
 
     # ------------------------------------------------------------------ #
     def extend(self, circuit: Circuit) -> "Kernel":
-        """Append an existing circuit's operations to this kernel."""
+        """Append an existing circuit's operations to this kernel.
+
+        The kernel's classical register widens to cover the source
+        circuit's, so cross-mapped measurements and conditional bits beyond
+        the qubit count stay addressable through compilation.
+        """
         for op in circuit.operations:
             self.circuit.append(op)
+        self.circuit.num_bits = max(self.circuit.num_bits, circuit.num_bits)
         return self
 
     @property

@@ -10,22 +10,35 @@ from __future__ import annotations
 
 from repro.core.circuit import Circuit
 from repro.mapping.placement import greedy_placement, trivial_placement
-from repro.mapping.routing import Router, RoutingResult
+from repro.mapping.routing import ROUTER_MODES, Router, RoutingResult
 from repro.openql.passes.base import Pass
 from repro.openql.platform import Platform
 
 
 class MappingPass(Pass):
-    """Place logical qubits and route two-qubit gates."""
+    """Place logical qubits and route two-qubit gates (hybrid-aware)."""
 
     name = "mapping"
 
-    def __init__(self, strategy: str = "greedy", use_lookahead: bool = True, force: bool = False):
+    def __init__(
+        self,
+        strategy: str = "greedy",
+        use_lookahead: bool = True,
+        force: bool = False,
+        mode: str = "path",
+        lookahead_window: int = 20,
+        decay: float = 0.7,
+    ):
         if strategy not in ("greedy", "trivial"):
             raise ValueError("strategy must be 'greedy' or 'trivial'")
+        if mode not in ROUTER_MODES:
+            raise ValueError(f"mode must be one of {ROUTER_MODES}, got {mode!r}")
         self.strategy = strategy
         self.use_lookahead = use_lookahead
         self.force = force
+        self.mode = mode
+        self.lookahead_window = lookahead_window
+        self.decay = decay
         self.last_result: RoutingResult | None = None
 
     def run(self, circuit: Circuit, platform: Platform) -> Circuit:
@@ -37,7 +50,13 @@ class MappingPass(Pass):
             if self.strategy == "greedy"
             else trivial_placement(circuit, platform.topology)
         )
-        router = Router(platform.topology, use_lookahead=self.use_lookahead)
+        router = Router(
+            platform.topology,
+            use_lookahead=self.use_lookahead,
+            mode=self.mode,
+            lookahead_window=self.lookahead_window,
+            decay=self.decay,
+        )
         self.last_result = router.route(circuit, placement)
         return self.last_result.circuit
 
@@ -47,6 +66,7 @@ class MappingPass(Pass):
         return {
             "swaps_inserted": self.last_result.swaps_inserted,
             "routing_overhead": round(self.last_result.overhead, 4),
+            "router_mode": self.last_result.mode,
             "initial_placement": dict(self.last_result.initial_placement),
             "final_placement": dict(self.last_result.final_placement),
         }

@@ -47,11 +47,17 @@ def _apply_platform_durations(circuit: Circuit, platform: Platform) -> Circuit:
     """Return a copy whose operation durations reflect the platform configuration."""
     from dataclasses import replace
 
-    from repro.core.operations import Measurement
+    from repro.core.operations import ConditionalGate, Measurement
 
     result = Circuit(circuit.num_qubits, circuit.name, num_bits=circuit.num_bits)
     for op in circuit.operations:
-        if isinstance(op, GateOperation):
+        if isinstance(op, ConditionalGate):
+            duration = platform.duration_of(op.gate.name)
+            if duration != op.gate.duration:
+                op = ConditionalGate(
+                    replace(op.gate, duration=duration), op.qubits, op.condition_bit
+                )
+        elif isinstance(op, GateOperation):
             duration = platform.duration_of(op.name)
             if duration != op.gate.duration:
                 op = GateOperation(replace(op.gate, duration=duration), op.qubits)

@@ -22,6 +22,7 @@ from repro.runtime.seeding import shard_seed, shard_sizes
 from repro.runtime.spec import (
     CircuitSpec,
     CompilerSpec,
+    CompileSpec,
     ExperimentSpec,
     PlatformSpec,
     QecSpec,
@@ -31,6 +32,7 @@ from repro.runtime.spec import (
 __all__ = [
     "ArtifactCache",
     "CircuitSpec",
+    "CompileSpec",
     "CompilerSpec",
     "ExperimentResult",
     "ExperimentRunner",

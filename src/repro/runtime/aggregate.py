@@ -30,6 +30,9 @@ class PointResult:
     compile_cached: bool = False
     compile_time_s: float = 0.0
     wall_time_s: float = 0.0
+    #: Mapping metrics of a ``kind="compile"`` point (swaps, overhead,
+    #: makespan, locality); empty for circuit/qec points.
+    metrics: dict = field(default_factory=dict)
 
     def probability(self, bitstring: str) -> float:
         return self.counts.get(bitstring, 0) / max(self.shots, 1)
@@ -55,6 +58,7 @@ class PointResult:
             "compile_cached": self.compile_cached,
             "compile_time_s": round(self.compile_time_s, 6),
             "wall_time_s": round(self.wall_time_s, 6),
+            "metrics": dict(self.metrics),
         }
 
 

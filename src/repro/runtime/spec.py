@@ -51,6 +51,17 @@ PLATFORMS: dict[str, str] = {
 #: Platform factories that take an explicit qubit count.
 _SIZED_PLATFORMS = ("perfect", "realistic")
 
+#: Topology factories addressable by short name in CompileSpec.
+TOPOLOGIES: dict[str, str] = {
+    "linear": "repro.mapping.topology:linear_topology",
+    "grid": "repro.mapping.topology:grid_topology",
+    "square_grid": "repro.mapping.topology:square_grid_topology",
+    "full": "repro.mapping.topology:fully_connected_topology",
+    "surface7": "repro.mapping.topology:surface7_topology",
+    "surface17": "repro.mapping.topology:surface17_topology",
+    "heavy_hex": "repro.mapping.topology:ibm_heavy_hex_like",
+}
+
 
 def resolve_reference(reference: str, registry: dict[str, str] | None = None):
     """Resolve a registry short name or ``"module:attribute"`` reference."""
@@ -167,13 +178,83 @@ class QecSpec:
 
 
 @dataclass
+class CompileSpec:
+    """One compile-and-map pipeline configuration (``kind="compile"``).
+
+    A compile experiment runs the full OpenQL-style pass pipeline —
+    decomposition, optimisation, hybrid-aware placement + routing, timed
+    scheduling — for the spec's circuit against a constrained topology, and
+    records mapping metrics (SWAPs inserted, routing overhead, schedule
+    makespan, :class:`~repro.mapping.traffic.TrafficAnalyzer` locality) per
+    sweep point instead of a measurement histogram.  Sweep axes address the
+    fields here as ``"compile.<field>"``, so placement strategy x router
+    mode x topology x schedule policy sweeps run across worker shards under
+    the same deterministic merge contract as ``qec``.
+    """
+
+    placement: str = "greedy"  # "greedy" | "trivial"
+    router: str = "sabre"  # "sabre" | "path"
+    topology: str = "grid"  # a TOPOLOGIES short name
+    rows: int | None = None
+    cols: int | None = None
+    schedule_policy: str = "asap"  # "asap" | "alap"
+    lookahead_window: int = 20
+    decay: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.placement not in ("greedy", "trivial"):
+            raise ValueError("placement must be 'greedy' or 'trivial'")
+        if self.router not in ("path", "sabre"):
+            raise ValueError("router must be 'path' or 'sabre'")
+        if self.schedule_policy not in ("asap", "alap"):
+            raise ValueError("schedule_policy must be 'asap' or 'alap'")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}: expected one of {sorted(TOPOLOGIES)}"
+            )
+        if self.rows is not None and self.rows < 1:
+            raise ValueError("rows must be >= 1")
+        if self.cols is not None and self.cols < 1:
+            raise ValueError("cols must be >= 1")
+        if self.topology != "grid" and self.rows is not None:
+            raise ValueError(
+                f"rows only applies to topology='grid'; use cols to size {self.topology!r}"
+            )
+        if self.topology in ("surface7", "surface17") and self.cols is not None:
+            raise ValueError(f"topology {self.topology!r} has a fixed layout; cols does not apply")
+        if self.lookahead_window < 0:
+            raise ValueError("lookahead_window must be >= 0")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+
+    def build_topology(self, min_sites: int):
+        """Instantiate the target topology with at least ``min_sites`` sites."""
+        from repro.mapping.topology import grid_topology, square_grid_topology
+
+        if self.topology == "grid":
+            if self.rows is None and self.cols is None:
+                return square_grid_topology(min_sites)
+            rows = self.rows if self.rows is not None else -(-min_sites // self.cols)
+            cols = self.cols if self.cols is not None else -(-min_sites // self.rows)
+            return grid_topology(rows, cols)
+        factory = resolve_reference(self.topology, TOPOLOGIES)
+        if self.topology in ("linear", "square_grid", "full"):
+            return factory(max(min_sites, self.cols or 0))
+        if self.topology == "heavy_hex":
+            return factory(max(min_sites, self.cols or 20))
+        return factory()  # fixed-size layouts: surface7, surface17
+
+
+@dataclass
 class ExperimentSpec:
     """One declarative full-stack experiment (possibly a parameter sweep).
 
     ``kind="circuit"`` (the default) compiles and simulates a circuit;
     ``kind="qec"`` runs a surface-code memory experiment described by the
-    ``qec`` field on the stabilizer/Pauli-frame track.  Both kinds share the
-    sharding, seeding and merging contract.
+    ``qec`` field on the stabilizer/Pauli-frame track; ``kind="compile"``
+    runs the compile-and-map pipeline described by the ``compile`` field and
+    reports mapping metrics.  All kinds share the sharding, seeding and
+    merging contract.
     """
 
     name: str
@@ -190,31 +271,39 @@ class ExperimentSpec:
     min_shards: int = 8
     kind: str = "circuit"
     qec: QecSpec | None = None
+    compile: CompileSpec | None = None
 
     def __post_init__(self) -> None:
         if self.shots < 1:
             raise ValueError("shots must be >= 1")
-        if self.kind not in ("circuit", "qec"):
-            raise ValueError(f"kind must be 'circuit' or 'qec', got {self.kind!r}")
-        if self.kind == "circuit" and self.circuit is None:
-            raise ValueError("circuit experiments need circuit=")
+        if self.kind not in ("circuit", "qec", "compile"):
+            raise ValueError(f"kind must be 'circuit', 'qec' or 'compile', got {self.kind!r}")
+        if self.kind in ("circuit", "compile") and self.circuit is None:
+            raise ValueError(f"{self.kind} experiments need circuit=")
         if self.kind == "qec" and self.qec is None:
             raise ValueError("qec experiments need qec=")
+        if self.kind == "compile" and self.compile is None:
+            self.compile = CompileSpec()
         for key in self.sweep:
             self._check_sweep_key(key)
 
     def _check_sweep_key(self, key: str) -> None:
         head, _, tail = key.partition(".")
-        if key == "shots":
-            return
         if self.kind == "qec":
-            if head == "qec" and tail:
+            if key == "shots" or (head == "qec" and tail):
                 return
             raise ValueError(
                 f"invalid sweep key {key!r} for a qec experiment: expected "
                 "'shots' or 'qec.<field>'"
             )
-        if head in ("circuit", "platform", "compiler") and tail:
+        if self.kind == "compile":
+            if head in ("compile", "circuit") and tail:
+                return
+            raise ValueError(
+                f"invalid sweep key {key!r} for a compile experiment: expected "
+                "'compile.<field>' or 'circuit.<kwarg>'"
+            )
+        if key == "shots" or (head in ("circuit", "platform", "compiler") and tail):
             return
         raise ValueError(
             f"invalid sweep key {key!r}: expected 'shots', 'circuit.<kwarg>', "
@@ -245,6 +334,7 @@ class ExperimentSpec:
             platform=copy.deepcopy(self.platform),
             compiler=copy.deepcopy(self.compiler),
             qec=copy.deepcopy(self.qec),
+            compile=copy.deepcopy(self.compile),
             sweep={},
         )
         for key, value in params.items():
@@ -263,12 +353,18 @@ class ExperimentSpec:
                 if not hasattr(bound.qec, tail):
                     raise ValueError(f"unknown qec field in sweep key {key!r}")
                 setattr(bound.qec, tail, value)
+            elif head == "compile":
+                if not hasattr(bound.compile, tail):
+                    raise ValueError(f"unknown compile field in sweep key {key!r}")
+                setattr(bound.compile, tail, value)
             else:  # pragma: no cover - rejected in __post_init__
                 raise ValueError(f"invalid sweep key {key!r}")
         if bound.shots < 1:
             raise ValueError("swept shots must be >= 1")
         if bound.qec is not None:
             bound.qec.__post_init__()  # re-validate swept qec fields
+        if bound.compile is not None:
+            bound.compile.__post_init__()  # re-validate swept compile fields
         return bound
 
     # ------------------------------------------------------------------ #
@@ -286,6 +382,8 @@ class ExperimentSpec:
             data["compiler"] = CompilerSpec(**data["compiler"])
         if data.get("qec") is not None:
             data["qec"] = QecSpec(**data["qec"])
+        if data.get("compile") is not None:
+            data["compile"] = CompileSpec(**data["compile"])
         return cls(**data)
 
     def to_json(self, indent: int = 2) -> str:

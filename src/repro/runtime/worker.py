@@ -43,6 +43,8 @@ class ShardResult:
     shots: int
     counts: dict[str, int] = field(default_factory=dict)
     errors_injected: int = 0
+    #: Mapping metrics of a compile shard (empty for circuit/qec shards).
+    metrics: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -65,9 +67,50 @@ class QecShardTask:
     measurement_error_rate: float | None = None
 
 
+@dataclass(frozen=True)
+class CompileShardTask:
+    """One compile-and-map pipeline run of one sweep point.
+
+    The ``kind="compile"`` analogue of :class:`ShardTask`: the payload is
+    the *source* circuit's cQASM plus the resolved
+    :class:`~repro.runtime.spec.CompileSpec` fields.  Compilation is
+    deterministic, so a point is a single shard and merged results are
+    bit-identical for any worker count by construction.
+    """
+
+    cqasm: str
+    placement: str
+    router: str
+    topology: str
+    rows: int | None
+    cols: int | None
+    schedule_policy: str
+    lookahead_window: int
+    decay: float
+    point_index: int
+    shard_index: int = 0
+    cache_dir: str | None = None
+
+
 def program_cache_key(cqasm: str, fuse: bool) -> str:
     """Cache key of a lowered program: compiled text + fusion flag."""
     return ArtifactCache.key_for("program", cqasm=cqasm, fuse=fuse)
+
+
+def mapping_cache_key(task: CompileShardTask) -> str:
+    """Cache key of a compile-and-map artifact: source text + pipeline config."""
+    return ArtifactCache.key_for(
+        "mapping",
+        cqasm=task.cqasm,
+        placement=task.placement,
+        router=task.router,
+        topology=task.topology,
+        rows=task.rows,
+        cols=task.cols,
+        schedule_policy=task.schedule_policy,
+        lookahead_window=task.lookahead_window,
+        decay=task.decay,
+    )
 
 
 def _noise_free(qubit_model: QubitModel | None) -> bool:
@@ -129,10 +172,112 @@ def _run_qec_shard(task: QecShardTask) -> ShardResult:
     )
 
 
-def run_shard(task: ShardTask | QecShardTask) -> ShardResult:
+def compile_and_map(task: CompileShardTask):
+    """Run the full pass pipeline for a compile task; returns the artifact dict.
+
+    The artifact bundles the :class:`~repro.openql.compiler.CompilationResult`
+    with the extracted mapping metrics, so cache hits skip the whole
+    pipeline, not just the metric extraction.
+    """
+    from repro.core.qubits import REALISTIC
+    from repro.cqasm.parser import cqasm_to_circuit
+    from repro.mapping.traffic import TrafficAnalyzer
+    from repro.openql.compiler import Compiler
+    from repro.openql.kernel import Kernel
+    from repro.openql.passes.decomposition import DecompositionPass
+    from repro.openql.passes.mapping_pass import MappingPass
+    from repro.openql.passes.optimization import OptimizationPass
+    from repro.openql.passes.scheduling_pass import SchedulingPass
+    from repro.openql.platform import Platform
+    from repro.openql.program import Program
+    from repro.runtime.spec import CompileSpec
+
+    circuit = cqasm_to_circuit(task.cqasm)
+    topology = CompileSpec(
+        placement=task.placement,
+        router=task.router,
+        topology=task.topology,
+        rows=task.rows,
+        cols=task.cols,
+        schedule_policy=task.schedule_policy,
+        lookahead_window=task.lookahead_window,
+        decay=task.decay,
+    ).build_topology(circuit.num_qubits)
+    platform = Platform(
+        name=f"compile_{topology.name}",
+        num_qubits=topology.num_qubits,
+        qubit_model=REALISTIC,
+        topology=topology,
+    )
+    mapping_pass = MappingPass(
+        strategy=task.placement,
+        mode=task.router,
+        lookahead_window=task.lookahead_window,
+        decay=task.decay,
+    )
+    compiler = Compiler(
+        passes=[
+            DecompositionPass(),
+            OptimizationPass(),
+            mapping_pass,
+            SchedulingPass(policy=task.schedule_policy),
+        ]
+    )
+    program = Program(name="compile", platform=platform)
+    # Keep the kernel at the logical circuit width: the router, not the
+    # kernel, widens the register to the topology, so placement only ever
+    # reasons about qubits the program actually uses.
+    kernel = Kernel(circuit.name or "main", platform, num_qubits=circuit.num_qubits)
+    kernel.extend(circuit)
+    program.add_kernel(kernel)
+    result = compiler.compile(program)
+    routed = result.kernels[0]
+    schedule = result.schedules[0]
+    routing = mapping_pass.last_result
+    traffic = TrafficAnalyzer()
+    if routing is not None:
+        report = traffic.analyze_routing(routing)
+    else:  # pragma: no cover - REALISTIC always routes
+        report = traffic.analyze_circuit(routed)
+    metrics = {
+        "swaps": routing.swaps_inserted if routing is not None else 0,
+        "routing_overhead": round(routing.overhead, 6) if routing is not None else 0.0,
+        "makespan_ns": schedule.makespan,
+        "parallelism": round(schedule.parallelism(), 4),
+        "locality": round(report.locality_score, 6),
+        "movement_fraction": round(report.movement_fraction, 6),
+        "total_hops": report.total_hops,
+        "routed_gate_count": routed.gate_count(),
+        "routed_depth": routed.depth(),
+        "topology_sites": topology.num_qubits,
+    }
+    return {"compilation": result, "metrics": metrics}
+
+
+def _run_compile_shard(task: CompileShardTask) -> ShardResult:
+    """Execute one compile-and-map point inside a pool worker (cache-backed)."""
+    cache = ArtifactCache(task.cache_dir) if task.cache_dir else None
+    key = mapping_cache_key(task)
+    artifact = cache.get(key) if cache is not None else None
+    if not (isinstance(artifact, dict) and "metrics" in artifact):
+        artifact = compile_and_map(task)
+        if cache is not None:
+            cache.put(key, artifact)
+    return ShardResult(
+        point_index=task.point_index,
+        shard_index=task.shard_index,
+        shots=1,
+        counts={},
+        metrics=dict(artifact["metrics"]),
+    )
+
+
+def run_shard(task: ShardTask | QecShardTask | CompileShardTask) -> ShardResult:
     """Execute one shard and return its merged-ready histogram."""
     if isinstance(task, QecShardTask):
         return _run_qec_shard(task)
+    if isinstance(task, CompileShardTask):
+        return _run_compile_shard(task)
     program = load_program(task)
     seed = shard_seed(task.root_seed, task.point_index, task.shard_index)
     if _noise_free(task.qubit_model):

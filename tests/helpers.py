@@ -11,6 +11,31 @@ from __future__ import annotations
 import numpy as np
 
 
+def relabel_statevector(
+    statevector: np.ndarray, mapping: dict[int, int], num_qubits: int
+) -> np.ndarray:
+    """Move amplitudes from physical to logical qubit ordering.
+
+    ``mapping`` is a routing result's ``final_placement`` (logical ->
+    physical); unplaced logical/physical indices are paired up in ascending
+    order so the permutation is total.
+    """
+    used_physical = set(mapping.values())
+    used_logical = set(mapping.keys())
+    free_physical = [p for p in range(num_qubits) if p not in used_physical]
+    free_logical = [l for l in range(num_qubits) if l not in used_logical]
+    full_map = dict(mapping)
+    full_map.update(dict(zip(free_logical, free_physical)))
+    out = np.zeros_like(statevector)
+    for index in range(len(statevector)):
+        new_index = 0
+        for logical, physical in full_map.items():
+            if (index >> physical) & 1:
+                new_index |= 1 << logical
+        out[new_index] = statevector[index]
+    return out
+
+
 def assert_equivalent_up_to_phase(matrix_a: np.ndarray, matrix_b: np.ndarray, atol: float = 1e-8):
     """Assert two unitaries are equal up to a global phase."""
     index = np.unravel_index(np.argmax(np.abs(matrix_b)), matrix_b.shape)

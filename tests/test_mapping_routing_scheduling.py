@@ -3,29 +3,12 @@
 import numpy as np
 import pytest
 
+from helpers import relabel_statevector
 from repro.core.circuit import Circuit, qft_circuit, random_circuit
 from repro.mapping.routing import Router, decompose_swaps
 from repro.mapping.scheduling import Scheduler
-from repro.mapping.topology import fully_connected_topology, linear_topology
+from repro.mapping.topology import fully_connected_topology, grid_topology, linear_topology
 from repro.qx.simulator import QXSimulator
-
-
-def _relabel_statevector(statevector: np.ndarray, mapping: dict[int, int], num_qubits: int) -> np.ndarray:
-    """Move amplitudes from physical to logical qubit ordering."""
-    used_physical = set(mapping.values())
-    used_logical = set(mapping.keys())
-    free_physical = [p for p in range(num_qubits) if p not in used_physical]
-    free_logical = [l for l in range(num_qubits) if l not in used_logical]
-    full_map = dict(mapping)
-    full_map.update(dict(zip(free_logical, free_physical)))
-    out = np.zeros_like(statevector)
-    for index in range(len(statevector)):
-        new_index = 0
-        for logical, physical in full_map.items():
-            if (index >> physical) & 1:
-                new_index |= 1 << logical
-        out[new_index] = statevector[index]
-    return out
 
 
 class TestRouter:
@@ -57,7 +40,42 @@ class TestRouter:
         padded.operations = list(circuit.operations)
         original = QXSimulator(seed=0).statevector(padded)
         routed = QXSimulator(seed=0).statevector(result.circuit)
-        relabelled = _relabel_statevector(routed, result.final_placement, 5)
+        relabelled = relabel_statevector(routed, result.final_placement, 5)
+        np.testing.assert_allclose(relabelled, original, atol=1e-9)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Router(linear_topology(3), mode="steiner")
+
+    @pytest.mark.parametrize("mode", ["path", "sabre"])
+    def test_modes_produce_adjacent_two_qubit_gates(self, mode):
+        circuit = random_circuit(9, 12, seed=11, two_qubit_fraction=0.5)
+        topo = grid_topology(3, 3)
+        result = Router(topo, mode=mode).route(circuit)
+        for op in result.circuit.gate_operations():
+            if len(op.qubits) == 2:
+                assert topo.are_adjacent(*op.qubits)
+
+    def test_sabre_not_worse_than_path_on_random_circuits(self):
+        # The decaying-lookahead scorer should beat (or match) committing to
+        # one shortest path per gate, summed over a batch of circuits.
+        total_path = 0
+        total_sabre = 0
+        topo = grid_topology(3, 3)
+        for seed in range(6):
+            circuit = random_circuit(9, 15, seed=seed)
+            total_path += Router(topo, mode="path").route(circuit).swaps_inserted
+            total_sabre += Router(topo, mode="sabre").route(circuit).swaps_inserted
+        assert total_sabre <= total_path
+
+    @pytest.mark.parametrize("mode", ["path", "sabre"])
+    def test_mode_equivalence_on_statevector(self, mode):
+        circuit = random_circuit(6, 10, seed=21, two_qubit_fraction=0.5)
+        topo = grid_topology(2, 3)
+        result = Router(topo, mode=mode).route(circuit)
+        original = QXSimulator(seed=0).statevector(circuit)
+        routed = QXSimulator(seed=0).statevector(result.circuit)
+        relabelled = relabel_statevector(routed, result.final_placement, 6)
         np.testing.assert_allclose(relabelled, original, atol=1e-9)
 
     def test_swap_count_reported_matches_circuit(self):

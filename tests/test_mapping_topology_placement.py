@@ -16,6 +16,7 @@ from repro.mapping.topology import (
     grid_topology,
     ibm_heavy_hex_like,
     linear_topology,
+    square_grid_topology,
     surface7_topology,
     surface17_topology,
 )
@@ -79,6 +80,50 @@ class TestTopology:
         topo = linear_topology(4)
         assert topo.average_degree() == pytest.approx(2 * 3 / 4)
 
+    @pytest.mark.parametrize(
+        "topo",
+        [grid_topology(4, 5), linear_topology(7), surface17_topology(), ibm_heavy_hex_like(20)],
+        ids=["grid", "linear", "surface17", "heavy_hex"],
+    )
+    def test_distances_match_networkx_reference(self, topo):
+        reference = dict(nx.all_pairs_shortest_path_length(topo.graph))
+        for a in range(topo.num_qubits):
+            for b in range(topo.num_qubits):
+                assert topo.distance(a, b) == reference[a][b]
+                assert int(topo.distance_matrix[a, b]) == reference[a][b]
+
+    @pytest.mark.parametrize(
+        "topo", [grid_topology(5, 3), linear_topology(9)], ids=["grid", "linear"]
+    )
+    def test_closed_form_shortest_paths_are_valid(self, topo):
+        for a in range(topo.num_qubits):
+            for b in range(topo.num_qubits):
+                path = topo.shortest_path(a, b)
+                assert path[0] == a and path[-1] == b
+                assert len(path) == topo.distance(a, b) + 1
+                assert all(topo.graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+    def test_grid_adjacency_matches_graph(self):
+        topo = grid_topology(3, 4)
+        for a in range(topo.num_qubits):
+            for b in range(topo.num_qubits):
+                assert topo.are_adjacent(a, b) == topo.graph.has_edge(a, b)
+
+    def test_square_grid_topology_covers_requested_sites(self):
+        topo = square_grid_topology(1000)
+        assert topo.grid_shape == (32, 32)
+        assert topo.num_qubits == 1024
+        assert square_grid_topology(9).grid_shape == (3, 3)
+
+    def test_large_grid_distance_needs_no_all_pairs_structure(self):
+        topo = grid_topology(32, 32)
+        assert topo.distance(0, 1023) == 31 + 31
+        assert topo._distance_matrix is None  # closed form: nothing materialised
+
+    def test_grid_diameter_closed_form(self):
+        assert grid_topology(3, 3).diameter() == 4
+        assert linear_topology(5).diameter() == 4
+
 
 class TestPlacement:
     def test_interaction_graph_weights(self):
@@ -116,6 +161,16 @@ class TestPlacement:
         trivial_cost = placement_cost(circuit, topo, trivial_placement(circuit, topo))
         greedy_cost = placement_cost(circuit, topo, greedy_placement(circuit, topo))
         assert greedy_cost <= trivial_cost
+
+    def test_greedy_placement_rejects_disconnected_topology(self):
+        # The vectorized candidate scan must not silently drop a qubit onto
+        # an occupied site when every reachable site is taken.
+        graph = nx.Graph([(0, 1), (2, 3)])
+        topo = Topology(graph)
+        circuit = Circuit(3)
+        circuit.cnot(0, 1).cnot(1, 2)
+        with pytest.raises(ValueError, match="no reachable free site|no path"):
+            greedy_placement(circuit, topo)
 
     def test_placement_cost_counts_adjacent_as_one(self):
         circuit = Circuit(2)
