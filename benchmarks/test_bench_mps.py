@@ -1,0 +1,141 @@
+"""MPS-engine benchmarks: beyond-the-wall scale and the dense crossover.
+
+The dense state-vector engine pays O(2^n) per evolution and hard-walls at
+26 qubits; the MPS engine pays O(n * D^3) with D the (circuit-dependent)
+bond dimension.  These benchmarks track (a) wall time of a 64-qubit GHZ
+sample — a register size no other exact engine in the stack reaches at
+this cost — and (b) the crossover against the dense engine on random
+low-entanglement (nearest-neighbour) circuits, which the dispatch cost
+model's auto-routing is built around.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from bench_utils import print_table, run_once
+from repro.core.circuit import Circuit, ghz_circuit
+from repro.qx.simulator import QXSimulator
+
+
+def _nearest_neighbour_circuit(num_qubits, depth, seed):
+    """Random brickwork circuit with only nearest-neighbour 2q gates: the
+    per-bond gate count (and so the MPS bond dimension) is capped by the
+    depth, independent of the register size."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits)
+    single = ("h", "t", "s", "x")
+    for layer in range(depth):
+        for qubit in range(num_qubits):
+            circuit.add_gate(single[int(rng.integers(len(single)))], qubit)
+        for qubit in range(layer % 2, num_qubits - 1, 2):
+            circuit.cnot(qubit, qubit + 1)
+    circuit.measure_all()
+    return circuit
+
+
+@pytest.mark.bench_smoke
+def test_ghz64_mps_wall_time(benchmark):
+    """GHZ-64, 5000 shots, exact at bond dimension 2 (M1 in BENCH_smoke)."""
+
+    def sweep():
+        rows = []
+        for num_qubits in (32, 64):
+            circuit = ghz_circuit(num_qubits)
+            circuit.measure_all()
+            simulator = QXSimulator(seed=3, backend="mps", max_bond=2)
+            start = time.perf_counter()
+            result = simulator.run(circuit, shots=5000)
+            wall_s = time.perf_counter() - start
+            assert set(result.counts) <= {"0" * num_qubits, "1" * num_qubits}
+            assert sum(result.counts.values()) == 5000
+            assert result.truncation_error == 0.0
+            rows.append((num_qubits, 5000, round(wall_s * 1e3, 1)))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "M1 MPS GHZ sampling wall time (max_bond=2, exact)",
+        ["qubits", "shots", "wall_ms"],
+        rows,
+    )
+
+
+@pytest.mark.bench_smoke
+def test_mps_vs_statevector_crossover(benchmark):
+    """Crossover on random low-entanglement circuits (M2 in BENCH_smoke).
+
+    Both engines run the same nearest-neighbour brickwork circuits; the MPS
+    engine must already be >= 5x faster at 22 qubits (the largest size the
+    dense engine can time without dominating the smoke run), and must keep
+    running at 28+ qubits where the dense engine cannot allocate the
+    amplitude array at all — the regime the acceptance criterion's
+    crossover speedup refers to.
+    """
+
+    def sweep():
+        rows = []
+        top_ratio = None
+        for num_qubits in (16, 20, 22):
+            circuit = _nearest_neighbour_circuit(num_qubits, depth=4, seed=7)
+            start = time.perf_counter()
+            dense = QXSimulator(seed=1, backend="statevector").run(circuit, shots=100)
+            dense_s = time.perf_counter() - start
+            start = time.perf_counter()
+            mps = QXSimulator(seed=1, backend="mps").run(circuit, shots=100)
+            mps_s = time.perf_counter() - start
+            assert mps.truncation_error == 0.0  # unbounded bond: exact
+            assert sum(dense.counts.values()) == sum(mps.counts.values()) == 100
+            ratio = dense_s / mps_s
+            if num_qubits == 22:
+                top_ratio = ratio
+            rows.append(
+                (num_qubits, round(dense_s * 1e3, 1), round(mps_s * 1e3, 1), round(ratio, 1))
+            )
+        # Beyond the dense wall: statevector is infeasible, MPS keeps going.
+        for num_qubits in (28, 32):
+            circuit = _nearest_neighbour_circuit(num_qubits, depth=4, seed=7)
+            from repro.qx.backends import UnsupportedBackendError
+
+            with pytest.raises(UnsupportedBackendError):
+                QXSimulator(seed=1, backend="statevector").run(circuit, shots=100)
+            start = time.perf_counter()
+            result = QXSimulator(seed=1, backend="mps").run(circuit, shots=100)
+            mps_s = time.perf_counter() - start
+            assert sum(result.counts.values()) == 100
+            rows.append((num_qubits, "wall (2**n)", round(mps_s * 1e3, 1), "inf"))
+        return rows, top_ratio
+
+    rows, top_ratio = run_once(benchmark, sweep)
+    print_table(
+        "M2 dense-vs-MPS crossover (nearest-neighbour depth-4 brickwork, 100 shots)",
+        ["qubits", "statevector_ms", "mps_ms", "speedup"],
+        rows,
+    )
+    assert top_ratio is not None and top_ratio >= 5.0, (
+        f"MPS speedup at 22 qubits was {top_ratio:.1f}x, expected >= 5x "
+        "(and unbounded at 28+ where the dense engine cannot run)"
+    )
+
+
+def test_auto_dispatch_overhead_small_circuits(benchmark):
+    """Profiling + policy choice must stay negligible on the hot path."""
+
+    def sweep():
+        circuit = ghz_circuit(4)
+        circuit.measure_all()
+        simulator = QXSimulator(seed=2)
+        start = time.perf_counter()
+        for _ in range(300):
+            simulator.run(circuit, shots=8)
+        wall_s = time.perf_counter() - start
+        return round(wall_s * 1e3 / 300, 3)
+
+    per_run_ms = run_once(benchmark, sweep)
+    print_table(
+        "M3 dispatch overhead (GHZ-4, 8 shots, mean of 300 runs)",
+        ["per_run_ms"],
+        [(per_run_ms,)],
+    )
+    assert per_run_ms < 5.0

@@ -14,6 +14,16 @@ Examples::
         --sweep platform.error_rate=1e-4,1e-3,1e-2 --shots 200 --workers 4
     python scripts/run_experiment.py --spec experiment.json --output results.json
 
+The simulation engine (statevector / stabilizer / density / mps) is chosen
+per circuit by the dispatch cost model; ``--backend`` pins it explicitly
+and ``--max-bond`` caps the MPS bond dimension.  The backend is also a
+sweep axis, so engines can be compared point-for-point::
+
+    python scripts/run_experiment.py --circuit ghz --qubits 64 --backend mps \
+        --shots 5000 --workers 4
+    python scripts/run_experiment.py --circuit ghz --qubits 20 \
+        --sweep backend=statevector,mps --shots 2000
+
 Surface-code memory experiments run on the stabilizer/QEC track with
 ``--kind qec``; ``--shots`` is the trial budget and the histogram key "1"
 counts logical failures::
@@ -143,6 +153,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--platform", default="perfect", help="platform factory (registry name or module:function)"
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("statevector", "stabilizer", "density", "mps"),
+        help="pin the simulation engine (default: cost-model auto-dispatch)",
+    )
+    parser.add_argument(
+        "--max-bond",
+        type=int,
+        default=None,
+        help="MPS bond-dimension cap (default: unbounded, i.e. exact)",
+    )
+    parser.add_argument(
+        "--truncation-threshold",
+        type=float,
+        default=None,
+        help="MPS relative Schmidt-coefficient cutoff (default: 1e-12)",
+    )
     parser.add_argument("--error-rate", type=float, help="error rate for the realistic platform")
     parser.add_argument("--shots", type=int, default=1024)
     parser.add_argument("--seed", type=int, default=0)
@@ -203,11 +231,24 @@ def spec_from_args(args: argparse.Namespace):
         ExperimentSpec,
         PlatformSpec,
         QecSpec,
+        SimulationSpec,
     )
 
     if args.spec:
         with open(args.spec) as handle:
             return ExperimentSpec.from_dict(json.load(handle))
+    if args.kind != "circuit":
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--backend", args.backend),
+                ("--max-bond", args.max_bond),
+                ("--truncation-threshold", args.truncation_threshold),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            raise SystemExit(f"error: {', '.join(conflicting)} only apply to --kind circuit")
     if args.kind == "compile":
         conflicting = []
         if args.platform != "perfect":
@@ -273,6 +314,11 @@ def spec_from_args(args: argparse.Namespace):
         circuit=CircuitSpec(builder=args.circuit, kwargs=_circuit_kwargs(args)),
         platform=PlatformSpec(factory=args.platform, kwargs=platform_kwargs),
         compiler=CompilerSpec(enabled=not args.no_compile),
+        simulation=SimulationSpec(
+            backend=args.backend,
+            max_bond=args.max_bond,
+            truncation_threshold=args.truncation_threshold,
+        ),
         shots=args.shots,
         seed=args.seed,
         sweep=_parse_sweep(args.sweep),
@@ -289,12 +335,23 @@ def print_report(result) -> None:
         print(f"artifact cache: {result.cache_stats}")
     for point in result.points:
         label = ", ".join(f"{key}={value}" for key, value in point.params.items()) or "-"
-        if point.metrics:
-            shown = ("swaps", "routing_overhead", "makespan_ns", "locality")
-            tail = "  ".join(f"{key}={point.metrics[key]}" for key in shown if key in point.metrics)
-        else:
+        parts = []
+        if point.counts:
             top = sorted(point.counts.items(), key=lambda item: -item[1])[:4]
-            tail = "  ".join(f"{bits}:{count}" for bits, count in top)
+            parts.append("  ".join(f"{bits}:{count}" for bits, count in top))
+        if point.metrics:
+            shown = (
+                "backend",
+                "truncation_error",
+                "swaps",
+                "routing_overhead",
+                "makespan_ns",
+                "locality",
+            )
+            parts.append(
+                "  ".join(f"{key}={point.metrics[key]}" for key in shown if key in point.metrics)
+            )
+        tail = "  ".join(parts)
         print(
             f"  [{point.index}] {label:40s} shots={point.shots:<6d} "
             f"gates={point.gate_count:<4d} cached={str(point.compile_cached):5s} {tail}"

@@ -126,7 +126,13 @@ class HostCPU:
         return report
 
     # ------------------------------------------------------------------ #
-    def run_experiment(self, spec, workers: int | None = None, cache_dir=None):
+    def run_experiment(
+        self,
+        spec,
+        workers: int | None = None,
+        cache_dir=None,
+        backend: str | None = None,
+    ):
         """Offload a declarative full-stack experiment to the quantum pipeline.
 
         This is the host's actual execution path (as opposed to the Amdahl
@@ -134,9 +140,17 @@ class HostCPU:
         is handed to the parallel :class:`~repro.runtime.runner.ExperimentRunner`,
         which shards the sweep's shot batches across ``workers`` processes
         and returns the merged :class:`~repro.runtime.aggregate.ExperimentResult`.
+
+        ``backend`` overrides the spec's simulation engine for this offload
+        (e.g. ``"mps"`` to force the tensor-network engine on a large
+        register) without mutating the caller's spec.
         """
+        from dataclasses import replace
+
         from repro.runtime.runner import ExperimentRunner
 
         if workers is None:
             workers = self.runtime_workers
+        if backend is not None:
+            spec = replace(spec, simulation=replace(spec.simulation, backend=backend))
         return ExperimentRunner(spec, workers=workers, cache_dir=cache_dir).run()

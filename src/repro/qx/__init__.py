@@ -23,6 +23,18 @@ from repro.qx.error_models import (
 from repro.qx.simulator import QXSimulator, SimulationResult
 from repro.qx.density import DensityMatrixSimulator
 from repro.qx.stabilizer import StabilizerSimulator, StabilizerState
+from repro.qx.mps import MPSSimulator, MPSState
+from repro.qx.backends import (
+    BACKENDS,
+    BackendCapabilities,
+    CircuitProfile,
+    DispatchPolicy,
+    UnsupportedBackendError,
+    capability_matrix,
+    profile_circuit,
+    profile_program,
+    register_backend,
+)
 
 __all__ = [
     "StateVector",
@@ -43,4 +55,15 @@ __all__ = [
     "DensityMatrixSimulator",
     "StabilizerSimulator",
     "StabilizerState",
+    "MPSSimulator",
+    "MPSState",
+    "BACKENDS",
+    "BackendCapabilities",
+    "CircuitProfile",
+    "DispatchPolicy",
+    "UnsupportedBackendError",
+    "capability_matrix",
+    "profile_circuit",
+    "profile_program",
+    "register_backend",
 ]

@@ -1,0 +1,518 @@
+"""Simulation-backend registry, capability matrix and dispatch policy.
+
+The stack now carries four engines — dense state vector, stabilizer
+tableau, density matrix and matrix-product state — each with a different
+feasibility region (qubit range, Clifford-only, noise, feedback) and a
+different cost shape.  This module is the single place that knowledge
+lives:
+
+* :data:`BACKENDS` — a registry of :class:`BackendCapabilities` records,
+  one per engine, rendered into error messages by
+  :func:`capability_matrix`;
+* :class:`CircuitProfile` — the features of one run that feasibility and
+  cost depend on (size, shots, Clifford-ness, feedback, noise kind, and a
+  static entanglement estimate for the MPS cost);
+* :class:`DispatchPolicy` — the cost model that picks an engine per
+  circuit.  It replaces the old ad-hoc ``STABILIZER_DISPATCH_*`` constants
+  in :mod:`repro.qx.simulator` with one policy object whose thresholds and
+  cost constants are plain fields, overridable per
+  :class:`~repro.qx.simulator.QXSimulator`;
+* :class:`UnsupportedBackendError` — raised (with the capability matrix in
+  the message) when an explicitly requested backend cannot run a circuit,
+  instead of a silent fallback or a deep numpy error.
+
+Auto-dispatch never changes results, only cost, for a default-configured
+simulator: the MPS engine is then auto-selected with an unbounded bond, so
+its answers match the dense engine.  Setting ``max_bond`` (or a coarser
+``truncation_threshold``) is an explicit accuracy opt-in that applies to
+whichever engine ends up running — and it feeds the cost model, so the
+engine is chosen on the configuration that actually executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.qx.mps import DENSE_MATERIALISE_LIMIT
+from repro.qx.stabilizer import StabilizerSimulator
+
+
+class UnsupportedBackendError(ValueError):
+    """An explicitly requested backend cannot execute the given circuit."""
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one simulation engine can and cannot run."""
+
+    name: str
+    description: str
+    #: Inclusive qubit range (``None`` = unbounded above).
+    max_qubits: int | None = None
+    #: Only Clifford-group gates (H, S, CNOT, CZ, Paulis, SWAP).
+    clifford_only: bool = False
+    #: Which error treatments the engine supports: "none" (perfect qubits
+    #: only), "trajectory" (stochastic per-shot injection), "channel"
+    #: (exact ensemble channels — depolarising only today).
+    noise: str = "none"
+    #: Mid-circuit measurement + classically conditioned gates.
+    conditionals: bool = True
+    #: Caller-provided dense initial states.
+    initial_state: bool = False
+    #: Can return a dense final state (``keep_final_state``).
+    final_state: bool = False
+    #: Can execute a lowered :class:`~repro.qx.compiled.KernelProgram`
+    #: (which carries gate matrices, not names).
+    programs: bool = True
+    #: Largest gate arity the engine applies natively.
+    max_gate_qubits: int | None = None
+    #: Exact up to floating point (MPS is exact only with an unbounded bond).
+    exact: bool = True
+
+
+#: The engine registry.  Keys are the public backend names accepted by
+#: ``QXSimulator(backend=...)``, the runtime's ``SimulationSpec.backend``
+#: and the CLI's ``--backend``.
+BACKENDS: dict[str, BackendCapabilities] = {
+    "statevector": BackendCapabilities(
+        name="statevector",
+        description="dense 2**n amplitudes, in-place stride kernels",
+        max_qubits=26,
+        noise="trajectory",
+        initial_state=True,
+        final_state=True,
+    ),
+    "stabilizer": BackendCapabilities(
+        name="stabilizer",
+        description="Aaronson-Gottesman tableau, Clifford-only, O(n^2) measure",
+        clifford_only=True,
+        programs=False,
+        max_gate_qubits=2,
+    ),
+    "density": BackendCapabilities(
+        name="density",
+        description="exact 4**n density matrix, depolarising channel",
+        max_qubits=10,
+        noise="channel",
+        conditionals=False,
+    ),
+    "mps": BackendCapabilities(
+        name="mps",
+        description="matrix-product state, per-bond Schmidt truncation",
+        noise="trajectory",
+        final_state=True,  # materialised densely, small registers only
+        max_gate_qubits=2,
+        exact=False,  # exact iff max_bond is None (auto-dispatch uses None)
+    ),
+}
+
+
+def capability_matrix() -> str:
+    """Human-readable capability table, embedded in dispatch errors."""
+    header = (
+        f"{'backend':12s} {'qubits':>8s} {'gates':>9s} "
+        f"{'noise':>10s} {'feedback':>8s} {'exact':>6s}"
+    )
+    rows = [header, "-" * len(header)]
+    for caps in BACKENDS.values():
+        qubits = f"<= {caps.max_qubits}" if caps.max_qubits is not None else "any"
+        gates = "clifford" if caps.clifford_only else (
+            f"<= {caps.max_gate_qubits}q" if caps.max_gate_qubits is not None else "any"
+        )
+        rows.append(
+            f"{caps.name:12s} {qubits:>8s} {gates:>9s} {caps.noise:>10s} "
+            f"{'yes' if caps.conditionals else 'no':>8s} {'yes' if caps.exact else '*':>6s}"
+        )
+    rows.append("(* mps is exact when max_bond is None, approximate otherwise)")
+    return "\n".join(rows)
+
+
+def register_backend(capabilities: BackendCapabilities) -> None:
+    """Register (or replace) a backend's capability record."""
+    BACKENDS[capabilities.name] = capabilities
+
+
+# ---------------------------------------------------------------------- #
+# Circuit profiling
+# ---------------------------------------------------------------------- #
+@dataclass
+class CircuitProfile:
+    """The features of one run that backend feasibility and cost depend on."""
+
+    num_qubits: int
+    shots: int = 1
+    gate_count: int = 0
+    two_qubit_gate_count: int = 0
+    num_measurements: int = 0
+    needs_trajectories: bool = False
+    is_clifford: bool = False
+    #: "none" | "depolarizing" | "trajectory" — how errors are modelled.
+    noise: str = "none"
+    max_gate_qubits: int = 1
+    has_initial_state: bool = False
+    keep_final_state: bool = False
+    #: 2-qubit gate spans summed over the circuit (swap-in/out cost proxy).
+    total_gate_span: int = 0
+    #: ``log2`` of the static per-bond entanglement bound (see
+    #: :func:`entanglement_exponent`); ``None`` when not yet computed.
+    bond_exponent: int | None = None
+    #: (a, b) endpoint pairs of 2-qubit gates, kept for lazy profiling.
+    _pairs: list[tuple[int, int]] = field(default_factory=list, repr=False)
+
+    @property
+    def noise_free(self) -> bool:
+        return self.noise == "none"
+
+    def entanglement_exponent(self) -> int:
+        """Cached static bound on ``log2`` of the peak Schmidt rank."""
+        if self.bond_exponent is None:
+            self.bond_exponent = entanglement_exponent(self._pairs, self.num_qubits)
+        return self.bond_exponent
+
+
+def entanglement_exponent(pairs, num_qubits: int) -> int:
+    """Static upper bound on ``log2(max Schmidt rank)`` across any bond.
+
+    For each bond ``b`` (the cut between qubits ``b`` and ``b+1``) the
+    Schmidt rank after the circuit is bounded by ``2**e(b)`` with ``e(b)``
+    the minimum of three counts, computed from the 2-qubit gate endpoint
+    pairs alone:
+
+    * the number of *distinct left-side qubits* touched by gates crossing
+      the cut (the rest of the left half evolves locally, so only those
+      qubits can carry correlations across it) — this is what recognises
+      GHZ-like circuits, where one hub qubit talks to everyone and the
+      true rank stays 2 no matter how many gates cross;
+    * the mirrored right-side count;
+    * the trivial ``min(b+1, n-b-1)`` half-register bound.
+
+    (A raw crossing-gate count would never bind: every crossing gate
+    contributes its left endpoint, so the distinct-endpoint counts are
+    always at most the gate count.)  Returned as the maximum exponent over
+    all bonds; the dispatch cost model turns it into an estimated peak
+    bond dimension.
+    """
+    if num_qubits < 2:
+        return 0
+    bonds = num_qubits - 1
+    left_touch = np.zeros(bonds + 1, dtype=np.int64)
+    right_touch = np.zeros(bonds + 1, dtype=np.int64)
+    max_partner: dict[int, int] = {}
+    min_partner: dict[int, int] = {}
+    for a, b in pairs:
+        low, high = (a, b) if a < b else (b, a)
+        if max_partner.get(low, -1) < high:
+            max_partner[low] = high
+        if min_partner.get(high, num_qubits) > low:
+            min_partner[high] = low
+    for qubit, partner in max_partner.items():
+        # Qubit q sits left of (and talks across) bonds q .. partner-1
+        # (difference array over the bond range).
+        left_touch[qubit] += 1
+        left_touch[partner] -= 1
+    for qubit, partner in min_partner.items():
+        right_touch[partner] += 1
+        right_touch[qubit] -= 1
+    left_touch = np.cumsum(left_touch[:bonds])
+    right_touch = np.cumsum(right_touch[:bonds])
+    half = np.minimum(np.arange(1, bonds + 1), np.arange(bonds, 0, -1))
+    exponents = np.minimum.reduce([left_touch, right_touch, half])
+    return int(exponents.max(initial=0))
+
+
+def profile_circuit(
+    circuit,
+    *,
+    shots: int = 1,
+    num_qubits: int | None = None,
+    noise: str = "none",
+    has_initial_state: bool = False,
+    keep_final_state: bool = False,
+    is_clifford: bool | None = None,
+) -> CircuitProfile:
+    """Profile a :class:`~repro.core.circuit.Circuit` for dispatch."""
+    from repro.core.operations import ConditionalGate, GateOperation, Measurement
+
+    gate_count = 0
+    two_qubit = 0
+    measurements = 0
+    conditionals = False
+    mid_circuit = False
+    max_arity = 1
+    span = 0
+    pairs: list[tuple[int, int]] = []
+    measured: set[int] = set()
+    for op in circuit.operations:
+        if isinstance(op, Measurement):
+            measurements += 1
+            measured.add(op.qubit)
+            continue
+        if isinstance(op, (GateOperation, ConditionalGate)):
+            if isinstance(op, ConditionalGate):
+                conditionals = True
+            if measured.intersection(op.qubits):
+                mid_circuit = True
+            gate_count += 1
+            arity = len(op.qubits)
+            max_arity = max(max_arity, arity)
+            if arity == 2:
+                two_qubit += 1
+                a, b = op.qubits
+                span += abs(a - b)
+                pairs.append((a, b))
+    if is_clifford is None:
+        is_clifford = StabilizerSimulator.is_clifford_circuit(circuit)
+    return CircuitProfile(
+        num_qubits=num_qubits or circuit.num_qubits,
+        shots=shots,
+        gate_count=gate_count,
+        two_qubit_gate_count=two_qubit,
+        num_measurements=measurements,
+        needs_trajectories=conditionals or mid_circuit,
+        is_clifford=is_clifford,
+        noise=noise,
+        max_gate_qubits=max_arity,
+        has_initial_state=has_initial_state,
+        keep_final_state=keep_final_state,
+        total_gate_span=span,
+        _pairs=pairs,
+    )
+
+
+def profile_program(
+    program,
+    *,
+    shots: int = 1,
+    num_qubits: int | None = None,
+    noise: str = "none",
+    has_initial_state: bool = False,
+    keep_final_state: bool = False,
+) -> CircuitProfile:
+    """Profile a lowered :class:`~repro.qx.compiled.KernelProgram`.
+
+    Programs carry gate matrices rather than names, so ``is_clifford`` is
+    conservatively ``False`` (the tableau engine cannot run programs
+    anyway).
+    """
+    gate_count = 0
+    two_qubit = 0
+    max_arity = 1
+    span = 0
+    pairs: list[tuple[int, int]] = []
+    for op in program.ops:
+        if op.matrix is None:
+            continue
+        gate_count += 1
+        arity = len(op.qubits)
+        max_arity = max(max_arity, arity)
+        if arity == 2:
+            two_qubit += 1
+            a, b = op.qubits
+            span += abs(a - b)
+            pairs.append((a, b))
+    return CircuitProfile(
+        num_qubits=num_qubits or program.num_qubits,
+        shots=shots,
+        gate_count=gate_count,
+        two_qubit_gate_count=two_qubit,
+        num_measurements=program.num_measurements,
+        needs_trajectories=program.needs_trajectories,
+        is_clifford=False,
+        noise=noise,
+        max_gate_qubits=max_arity,
+        has_initial_state=has_initial_state,
+        keep_final_state=keep_final_state,
+        total_gate_span=span,
+        _pairs=pairs,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The dispatch policy
+# ---------------------------------------------------------------------- #
+_INFEASIBLE = float("inf")
+
+
+@dataclass
+class DispatchPolicy:
+    """Chooses a simulation backend per circuit via feasibility + cost.
+
+    The thresholds reproduce the dispatch behaviour the stack had when the
+    rules were hard-coded constants (statevector whenever it fits, tableau
+    for big Clifford circuits), extended with the MPS engine for everything
+    beyond the dense wall.  With the default knobs every auto-dispatched
+    configuration is exact (``mps_max_bond=None``); a caller-set bond cap
+    is an explicit accuracy opt-in and flows into both the cost estimate
+    and the engine.
+    """
+
+    #: Clifford circuits that force per-shot trajectories (feedback or
+    #: mid-circuit measurement) leave the state vector at this size.
+    stabilizer_min_qubits: int = 21
+    #: Sampled-eligible Clifford circuits (terminal measurements only) keep
+    #: the flat-in-shots dense path until the amplitude array itself is the
+    #: bottleneck, then the cost model arbitrates tableau vs MPS.
+    stabilizer_sampled_min_qubits: int = 26
+    #: Hard memory wall of the dense engine (2**26 amplitudes = 1 GiB).
+    statevector_max_qubits: int = 26
+    density_max_qubits: int = 10
+    #: Bond cap handed to auto-dispatched MPS runs (None = unbounded/exact).
+    mps_max_bond: int | None = None
+    mps_truncation_threshold: float = 1e-12
+    #: Entanglement exponents above this make the MPS cost estimate
+    #: saturate (2**cap is already hopeless next to any alternative).
+    mps_exponent_cap: int = 24
+    #: Relative per-element cost constants (dense amplitude update = 1).
+    tableau_row_cost: float = 4.0
+    svd_cost: float = 40.0
+
+    # ------------------------------------------------------------------ #
+    # Feasibility
+    # ------------------------------------------------------------------ #
+    def unsupported_reason(self, name: str, profile: CircuitProfile) -> str | None:
+        """Why ``name`` cannot run the profiled circuit (None = it can)."""
+        caps = BACKENDS.get(name)
+        if caps is None:
+            return f"unknown backend {name!r}; known: {', '.join(sorted(BACKENDS))}"
+        if caps.max_qubits is not None and profile.num_qubits > caps.max_qubits:
+            return f"{profile.num_qubits} qubits exceed the {name} limit of {caps.max_qubits}"
+        if caps.clifford_only and not profile.is_clifford:
+            return f"{name} is Clifford-only and the circuit has non-Clifford gates"
+        if not profile.noise_free and caps.noise == "none":
+            return f"{name} does not support error models"
+        if profile.noise == "trajectory" and caps.noise == "channel":
+            return f"{name} supports only the exact depolarising channel, not trajectory noise"
+        if profile.needs_trajectories and not caps.conditionals:
+            return f"{name} cannot run mid-circuit measurement or conditional feedback"
+        if profile.has_initial_state and not caps.initial_state:
+            return f"{name} does not accept a dense initial state"
+        if profile.keep_final_state and not caps.final_state:
+            return f"{name} cannot return a dense final state"
+        if profile.num_measurements == 0 and not caps.final_state:
+            return f"{name} only produces measurement histograms and the circuit never measures"
+        if (
+            (profile.keep_final_state or profile.num_measurements == 0)
+            and name == "mps"
+            and profile.num_qubits > DENSE_MATERIALISE_LIMIT
+        ):
+            return (
+                f"returning a dense final state would materialise 2**{profile.num_qubits} "
+                f"amplitudes; it is limited to {DENSE_MATERIALISE_LIMIT} qubits "
+                "on the mps backend"
+            )
+        if (
+            caps.max_gate_qubits is not None
+            and not caps.clifford_only
+            and profile.max_gate_qubits > caps.max_gate_qubits
+        ):
+            return (
+                f"{name} applies at most {caps.max_gate_qubits}-qubit gates; "
+                f"the circuit contains a {profile.max_gate_qubits}-qubit gate"
+            )
+        return None
+
+    def validate(self, name: str, profile: CircuitProfile) -> str:
+        """Validate an explicit backend request; returns the canonical name."""
+        reason = self.unsupported_reason(name, profile)
+        if reason is not None:
+            raise UnsupportedBackendError(
+                f"backend {name!r} cannot run this circuit: {reason}\n\n"
+                f"{capability_matrix()}"
+            )
+        return name
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+    def estimate_cost(self, name: str, profile: CircuitProfile) -> float:
+        """Rough work estimate (dense amplitude updates) of one run."""
+        if self.unsupported_reason(name, profile) is not None:
+            return _INFEASIBLE
+        n = profile.num_qubits
+        shots = max(profile.shots, 1)
+        if name == "statevector":
+            evolution = max(profile.gate_count, 1) * float(2**n) * 4.0
+            if profile.noise_free and not profile.needs_trajectories:
+                return evolution + shots
+            return shots * evolution
+        if name == "stabilizer":
+            per_shot = (
+                profile.gate_count * n + profile.num_measurements * n * n
+            ) * self.tableau_row_cost
+            return shots * max(per_shot, 1.0)
+        if name == "density":
+            return max(profile.gate_count, 1) * float(4**n) * 16.0
+        if name == "mps":
+            cap = self.mps_exponent_cap
+            exponent = min(profile.entanglement_exponent(), cap)
+            if self.mps_max_bond is not None:
+                bond = min(2**exponent, self.mps_max_bond)
+            else:
+                bond = 2**exponent
+            # Every 2q gate is an SVD of a (2 bond, 2 bond) block; swap
+            # ladders multiply that by the gate span.
+            splits = profile.two_qubit_gate_count + 2 * max(
+                profile.total_gate_span - profile.two_qubit_gate_count, 0
+            )
+            evolution = max(splits, 1) * float(bond) ** 3 * self.svd_cost
+            sampling = shots * n * float(bond) ** 2 * 2.0
+            if profile.noise_free and not profile.needs_trajectories:
+                return evolution + sampling
+            return shots * (evolution + n * float(bond) ** 2)
+        return _INFEASIBLE
+
+    # ------------------------------------------------------------------ #
+    # Selection
+    # ------------------------------------------------------------------ #
+    def choose(self, profile: CircuitProfile) -> str:
+        """Pick the backend for one run (auto-dispatch).
+
+        Tiered: the dense engine keeps every circuit it comfortably fits
+        (auto-dispatch must not perturb small-register behaviour), the
+        tableau keeps its established Clifford territory, and beyond the
+        dense wall the cost model arbitrates among whatever remains
+        feasible.
+        """
+        # Dense-state obligations first: caller-provided initial states and
+        # dense final states (requested, or implied by a measurement-free
+        # circuit) are statevector-only features at full register range.
+        if profile.has_initial_state or profile.num_measurements == 0 or (
+            profile.keep_final_state and profile.num_qubits > self.statevector_max_qubits
+        ):
+            return self.validate("statevector", profile)
+        clifford_eligible = (
+            profile.noise_free
+            and profile.is_clifford
+            and profile.num_measurements > 0
+            and not profile.keep_final_state
+        )
+        if clifford_eligible and profile.num_qubits >= self.stabilizer_min_qubits:
+            if profile.needs_trajectories:
+                return "stabilizer"
+            if profile.num_qubits >= self.stabilizer_sampled_min_qubits:
+                mps_cost = self.estimate_cost("mps", profile)
+                if mps_cost < self.estimate_cost("stabilizer", profile):
+                    return "mps"
+                return "stabilizer"
+        if profile.num_qubits <= self.statevector_max_qubits:
+            return "statevector"
+        # Beyond the dense wall: pick the cheapest feasible engine.
+        candidates = [
+            (self.estimate_cost(name, profile), name)
+            for name in ("stabilizer", "mps")
+            if self.unsupported_reason(name, profile) is None
+        ]
+        candidates = [entry for entry in candidates if entry[0] < _INFEASIBLE]
+        if not candidates:
+            reasons = "; ".join(
+                f"{name}: {self.unsupported_reason(name, profile)}"
+                for name in BACKENDS
+                if self.unsupported_reason(name, profile) is not None
+            )
+            raise UnsupportedBackendError(
+                f"no backend can run this {profile.num_qubits}-qubit circuit "
+                f"({reasons})\n\n{capability_matrix()}"
+            )
+        return min(candidates)[1]

@@ -63,10 +63,18 @@ class DepolarizingError(ErrorModel):
         if not 0.0 <= self.error_rate <= 1.0:
             raise ValueError("error_rate outside [0, 1]")
 
-    def apply_after_gate(self, state, qubits, duration_ns, rng) -> int:
-        rate = self.error_rate
+    def rate_for(self, qubits: tuple[int, ...]) -> float:
+        """Per-qubit error rate after a gate on ``qubits``.
+
+        The single definition of the one-vs-two-qubit rate selection, shared
+        by the trajectory path and the density engine's exact channel.
+        """
         if len(qubits) >= 2 and self.two_qubit_error_rate is not None:
-            rate = self.two_qubit_error_rate
+            return self.two_qubit_error_rate
+        return self.error_rate
+
+    def apply_after_gate(self, state, qubits, duration_ns, rng) -> int:
+        rate = self.rate_for(qubits)
         injected = 0
         for qubit in qubits:
             if rng.random() < rate:
@@ -244,6 +252,20 @@ class CompositeError(ErrorModel):
 
     def describe(self) -> str:
         return " + ".join(m.describe() for m in self.models) or "none"
+
+
+def noise_kind(error_model: ErrorModel) -> str:
+    """Classify an error model for backend dispatch.
+
+    ``"none"`` (perfect qubits), ``"depolarizing"`` (exactly representable
+    as the density engine's channel) or ``"trajectory"`` (stochastic
+    injection only).
+    """
+    if isinstance(error_model, NoError):
+        return "none"
+    if isinstance(error_model, DepolarizingError):
+        return "depolarizing"
+    return "trajectory"
 
 
 def error_model_for(qubit_model: QubitModel) -> ErrorModel:

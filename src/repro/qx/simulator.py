@@ -1,16 +1,25 @@
 """The QX simulator front-end.
 
 Executes :class:`~repro.core.circuit.Circuit` objects (or parsed cQASM
-programs) against the state-vector engine, with or without error models,
-and aggregates multi-shot measurement statistics — the role QX plays in the
-paper's full stack: the micro-architecture sends it instructions, it
-executes them, measures, and returns results.
+programs) against a pluggable set of simulation engines, with or without
+error models, and aggregates multi-shot measurement statistics — the role
+QX plays in the paper's full stack: the micro-architecture sends it
+instructions, it executes them, measures, and returns results.
 
-Circuits are lowered once through :mod:`repro.qx.compiled` before
-execution: the deterministic path runs a single fused-kernel evolution and
-samples the final distribution; the trajectory path re-executes the
-precompiled (unfused, so every gate keeps its error-injection point)
-program per shot without re-dispatching circuit objects.
+Four engines sit behind one front-end: the dense state vector (exact, up
+to 26 qubits), the stabilizer tableau (Clifford-only, hundreds of qubits),
+the density matrix (exact channels, 10 qubits) and the matrix-product
+state (low-entanglement circuits on 50-100+ qubits).  Which engine runs a
+circuit is decided by the :class:`~repro.qx.backends.DispatchPolicy` cost
+model, overridable per call with ``backend=``; every engine emits
+histograms under the shared :mod:`repro.qx.keying` convention, so routing
+only ever changes the cost, never the result format.
+
+Circuits are lowered once through :mod:`repro.qx.compiled` before dense or
+MPS execution: the deterministic path runs a single evolution and samples
+the final distribution; the trajectory path re-executes the precompiled
+(unfused, so every gate keeps its error-injection point) program per shot
+without re-dispatching circuit objects.
 """
 
 from __future__ import annotations
@@ -23,23 +32,32 @@ from repro.core.circuit import Circuit
 from repro.core.operations import Measurement
 from repro.core.qubits import PERFECT, QubitModel
 from repro.qx import kernels
+from repro.qx.backends import (
+    DispatchPolicy,
+    UnsupportedBackendError,
+    capability_matrix,
+    profile_circuit,
+    profile_program,
+)
 from repro.qx.compiled import COND_GATE, GATE, MEASURE, program_for
-from repro.qx.error_models import ErrorModel, NoError, error_model_for
+from repro.qx.density import DensityMatrixSimulator
+from repro.qx.error_models import (
+    DepolarizingError,
+    ErrorModel,
+    NoError,
+    error_model_for,
+    noise_kind,
+)
+from repro.qx.keying import bits_histogram, counts_to_bits, sample_index_counts
+from repro.qx.mps import MPSState
 from repro.qx.stabilizer import StabilizerSimulator
 from repro.qx.statevector import StateVector
 
-#: Register size above which a noise-free all-Clifford circuit that *forces
-#: per-shot trajectories* (mid-circuit measurement or conditional feedback)
-#: is routed to the stabilizer tableau engine: the state-vector trajectory
-#: path pays O(shots * 2**n) there, so the tableau wins for any shot count.
-STABILIZER_DISPATCH_MIN_QUBITS = 21
-
-#: Register size above which even *sampled-path-eligible* Clifford circuits
-#: (terminal measurements only) go to the tableau.  The sampled path is one
-#: O(2**n) evolution regardless of shots — cheaper than per-shot tableau
-#: runs at moderate sizes — so dispatch waits until the amplitude array
-#: itself becomes the problem (2**26 complex doubles = 1 GiB).
-STABILIZER_DISPATCH_SAMPLED_MIN_QUBITS = 26
+#: Back-compat aliases: the dispatch thresholds now live on
+#: :class:`~repro.qx.backends.DispatchPolicy`; these constants mirror the
+#: default policy's values for code that still reads them.
+STABILIZER_DISPATCH_MIN_QUBITS = DispatchPolicy.stabilizer_min_qubits
+STABILIZER_DISPATCH_SAMPLED_MIN_QUBITS = DispatchPolicy.stabilizer_sampled_min_qubits
 
 
 @dataclass
@@ -52,6 +70,11 @@ class SimulationResult:
     final_state: np.ndarray | None = None
     classical_bits: list[list[int]] = field(default_factory=list)
     errors_injected: int = 0
+    #: Which engine executed the shots.
+    backend: str = "statevector"
+    #: Cumulative discarded Schmidt weight of an MPS run (averaged over
+    #: shots on the trajectory path); 0.0 for exact engines.
+    truncation_error: float = 0.0
 
     def probability(self, bitstring: str) -> float:
         return self.counts.get(bitstring, 0) / max(self.shots, 1)
@@ -74,7 +97,14 @@ class SimulationResult:
 
 
 class QXSimulator:
-    """Multi-shot circuit simulator with pluggable error models."""
+    """Multi-shot circuit simulator with pluggable engines and error models.
+
+    ``backend`` fixes the engine for every run of this simulator
+    (``"statevector"``, ``"stabilizer"``, ``"density"`` or ``"mps"``);
+    ``None`` lets the dispatch ``policy`` choose per circuit.  ``max_bond``
+    and ``truncation_threshold`` are the MPS accuracy knobs (``None``
+    inherits the policy defaults: unbounded bond, i.e. exact).
+    """
 
     def __init__(
         self,
@@ -82,6 +112,10 @@ class QXSimulator:
         error_model: ErrorModel | None = None,
         qubit_model: QubitModel | None = None,
         seed: int | np.random.SeedSequence | None = None,
+        backend: str | None = None,
+        max_bond: int | None = None,
+        truncation_threshold: float | None = None,
+        policy: DispatchPolicy | None = None,
     ):
         if error_model is not None and qubit_model is not None:
             raise ValueError("pass either error_model or qubit_model, not both")
@@ -91,6 +125,33 @@ class QXSimulator:
         self.qubit_model = qubit_model or PERFECT
         self.num_qubits = num_qubits
         self.rng = np.random.default_rng(seed)
+        self.backend = backend
+        self.max_bond = max_bond
+        self.truncation_threshold = truncation_threshold
+        self.policy = policy if policy is not None else DispatchPolicy()
+
+    def _dispatch_policy(self) -> DispatchPolicy:
+        """The policy with this simulator's MPS knobs folded in.
+
+        A simulator-level ``max_bond`` is an explicit accuracy opt-in (auto
+        dispatch stays exact only for a default-configured simulator); it
+        must also feed the cost model, so the engine is chosen on the
+        configuration that will actually run.
+        """
+        if self.max_bond is None and self.truncation_threshold is None:
+            return self.policy
+        from dataclasses import replace
+
+        changes: dict = {}
+        if self.max_bond is not None:
+            changes["mps_max_bond"] = self.max_bond
+        if self.truncation_threshold is not None:
+            changes["mps_truncation_threshold"] = self.truncation_threshold
+        return replace(self.policy, **changes)
+
+    # ------------------------------------------------------------------ #
+    def _noise_kind(self) -> str:
+        return noise_kind(self.error_model)
 
     # ------------------------------------------------------------------ #
     def run(
@@ -99,19 +160,22 @@ class QXSimulator:
         shots: int = 1,
         keep_final_state: bool = False,
         initial_state: np.ndarray | None = None,
+        backend: str | None = None,
     ) -> SimulationResult:
         """Execute ``circuit`` for ``shots`` repetitions.
 
         When the error model is trivial and the circuit has no mid-circuit
-        measurement feedback, all shots share a single state-vector
-        evolution and the measurement histogram is sampled from the final
-        distribution, which is exponentially cheaper than re-running.
+        measurement feedback, all shots share a single evolution and the
+        measurement histogram is sampled from the final distribution, which
+        is exponentially cheaper than re-running.
 
-        Noise-free circuits built entirely from Clifford gates are routed to
-        the stabilizer tableau engine once the register exceeds
-        :data:`STABILIZER_DISPATCH_MIN_QUBITS` — QEC-scale Clifford circuits
-        run in polynomial time instead of exhausting memory on a ``2**n``
-        state vector, with the same histogram keying convention.
+        The engine is chosen by the dispatch policy's cost model — dense
+        state vector while it fits, the stabilizer tableau for QEC-scale
+        Clifford circuits, the MPS engine beyond the dense wall — or fixed
+        with ``backend=``.  An explicitly requested backend that cannot run
+        the circuit raises :class:`~repro.qx.backends
+        .UnsupportedBackendError` with the capability matrix instead of
+        falling back silently.
         """
         if shots < 1:
             raise ValueError("shots must be >= 1")
@@ -123,24 +187,35 @@ class QXSimulator:
         # runs never pay for (or cache) a fused program they cannot use.
         noise_free = isinstance(self.error_model, NoError)
         program = program_for(circuit, fuse=noise_free)
-        if (
-            noise_free
-            and initial_state is None
-            and not keep_final_state
-            and num_qubits >= STABILIZER_DISPATCH_MIN_QUBITS
-            and program.num_measurements
-            and StabilizerSimulator.is_clifford_circuit(circuit)
-        ):
-            # Trajectory-forcing circuits beat the state vector immediately;
-            # sampled-eligible ones only once the amplitude array itself is
-            # the bottleneck (the sampled path is flat in the shot count).
-            threshold = (
-                STABILIZER_DISPATCH_MIN_QUBITS
-                if program.needs_trajectories
-                else STABILIZER_DISPATCH_SAMPLED_MIN_QUBITS
-            )
-            if num_qubits >= threshold:
-                return self._run_stabilizer(circuit, num_qubits, shots)
+        requested = backend if backend is not None else self.backend
+        policy = self._dispatch_policy()
+        # The Clifford scan is only paid when its result can matter: on an
+        # explicit stabilizer request, or when auto-dispatch is in tableau
+        # territory (noise-free at/above the trajectory threshold).
+        clifford_matters = requested == "stabilizer" or (
+            requested is None
+            and noise_free
+            and num_qubits >= policy.stabilizer_min_qubits
+        )
+        profile = profile_circuit(
+            circuit,
+            shots=shots,
+            num_qubits=num_qubits,
+            noise=self._noise_kind(),
+            has_initial_state=initial_state is not None,
+            keep_final_state=keep_final_state,
+            is_clifford=None if clifford_matters else False,
+        )
+        if requested is None:
+            name = policy.choose(profile)
+        else:
+            name = policy.validate(requested, profile)
+        if name == "stabilizer":
+            return self._run_stabilizer(circuit, num_qubits, shots)
+        if name == "mps":
+            return self._run_mps(program, num_qubits, shots, keep_final_state)
+        if name == "density":
+            return self._run_density(program, num_qubits, shots)
         if noise_free and not program.needs_trajectories:
             return self._run_sampled(program, num_qubits, shots, keep_final_state, initial_state)
         if program.fused:
@@ -154,20 +229,20 @@ class QXSimulator:
         num_qubits: int | None = None,
         keep_final_state: bool = False,
         initial_state: np.ndarray | None = None,
+        backend: str | None = None,
     ) -> SimulationResult:
         """Execute an already-lowered :class:`~repro.qx.compiled.KernelProgram`.
 
         The entry point used by the parallel experiment runtime
         (:mod:`repro.runtime`), whose workers cache lowered programs on disk
-        and must not pay circuit re-lowering per shard.  Noise-free programs
-        without measurement feedback take the single-evolution sampled path;
-        everything else runs per-shot trajectories.  Unlike :meth:`run`
-        there is no stabilizer auto-dispatch: a lowered program carries gate
-        matrices, not names, so the tableau engine cannot execute it — run
-        QEC-scale Clifford workloads through :meth:`run` or the runtime's
-        ``qec`` experiment kind instead.  Noisy execution requires an
-        *unfused* program, because gate fusion removes error-injection
-        points.
+        and must not pay circuit re-lowering per shard.  A lowered program
+        carries gate matrices, not names, so the stabilizer tableau cannot
+        execute it (run QEC-scale Clifford workloads through :meth:`run` or
+        the runtime's ``qec`` experiment kind); the dense, density-matrix
+        and MPS engines all can, and auto-dispatch picks between the dense
+        engine (within its 26-qubit wall) and the MPS engine (beyond it).
+        Noisy execution requires an *unfused* program, because gate fusion
+        removes error-injection points.
         """
         if shots < 1:
             raise ValueError("shots must be >= 1")
@@ -175,12 +250,36 @@ class QXSimulator:
         if program.num_qubits > register:
             raise ValueError("program does not fit the simulator register")
         noise_free = isinstance(self.error_model, NoError)
-        if noise_free and not program.needs_trajectories:
-            return self._run_sampled(program, register, shots, keep_final_state, initial_state)
+        requested = backend if backend is not None else self.backend
+        if requested == "stabilizer":
+            raise UnsupportedBackendError(
+                "the stabilizer engine cannot execute lowered programs (they carry "
+                "gate matrices, not names); run the circuit through "
+                f"QXSimulator.run instead\n\n{capability_matrix()}"
+            )
+        policy = self._dispatch_policy()
+        profile = profile_program(
+            program,
+            shots=shots,
+            num_qubits=register,
+            noise=self._noise_kind(),
+            has_initial_state=initial_state is not None,
+            keep_final_state=keep_final_state,
+        )
+        if requested is None:
+            name = policy.choose(profile)
+        else:
+            name = policy.validate(requested, profile)
         if not noise_free and program.fused:
             raise ValueError(
                 "noisy execution requires an unfused program (lower with fuse=False)"
             )
+        if name == "mps":
+            return self._run_mps(program, register, shots, keep_final_state)
+        if name == "density":
+            return self._run_density(program, register, shots)
+        if noise_free and not program.needs_trajectories:
+            return self._run_sampled(program, register, shots, keep_final_state, initial_state)
         return self._run_trajectories(program, register, shots, keep_final_state, initial_state)
 
     # ------------------------------------------------------------------ #
@@ -198,7 +297,12 @@ class QXSimulator:
             ordered_bits = sorted(program.bit_sources)
             sources = tuple(program.bit_sources[bit] for bit in ordered_bits)
             result.counts = state.sample_counts(shots, qubits=sources)
-            result.classical_bits = _counts_to_bits(result.counts, tuple(ordered_bits), shots)
+            result.classical_bits = counts_to_bits(
+                result.counts,
+                tuple(ordered_bits),
+                shots,
+                size=max(program.num_bits, num_qubits),
+            )
         if keep_final_state or not program.num_measurements:
             result.final_state = state.amplitudes.copy()
         return result
@@ -239,7 +343,7 @@ class QXSimulator:
                 result.final_state = state.amplitudes.copy()
         result.errors_injected = errors
         if measured_any:
-            result.counts = _bits_histogram(all_bits, program.measured_bits)
+            result.counts = bits_histogram(all_bits, program.measured_bits)
             result.classical_bits = all_bits.tolist()
         return result
 
@@ -260,9 +364,116 @@ class QXSimulator:
             for bit, value in engine._run_shot(circuit).items():
                 all_bits[shot, bit] = value
                 written.add(bit)
-        result = SimulationResult(num_qubits=num_qubits, shots=shots)
-        result.counts = _bits_histogram(all_bits, tuple(sorted(written)))
+        result = SimulationResult(num_qubits=num_qubits, shots=shots, backend="stabilizer")
+        result.counts = bits_histogram(all_bits, tuple(sorted(written)))
         result.classical_bits = all_bits.tolist()
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _mps_state(self, num_qubits) -> MPSState:
+        policy = self._dispatch_policy()
+        return MPSState(
+            num_qubits,
+            max_bond=policy.mps_max_bond,
+            truncation_threshold=policy.mps_truncation_threshold,
+            rng=self.rng,
+        )
+
+    def _run_mps(self, program, num_qubits, shots, keep_final_state):
+        """Execute a lowered program on the matrix-product-state engine.
+
+        The sampled path (noise-free, terminal measurements) runs one MPS
+        evolution and draws every shot by right-to-left conditional
+        sampling; feedback or noise falls back to per-shot trajectories with
+        the same error-model hooks as the dense engine (MPS states expose
+        ``apply_pauli`` and ``measure``).
+        """
+        noise_free = isinstance(self.error_model, NoError)
+        result = SimulationResult(num_qubits=num_qubits, shots=shots, backend="mps")
+        num_bits = max(program.num_bits, num_qubits)
+        if noise_free and not program.needs_trajectories:
+            state = self._mps_state(num_qubits)
+            for op in program.ops:
+                if op.kind == GATE:
+                    state.apply_gate(op.matrix, op.qubits)
+            if program.num_measurements:
+                samples = state.sample_bits(shots)
+                all_bits = np.zeros((shots, num_bits), dtype=np.int64)
+                for bit, source in program.bit_sources.items():
+                    all_bits[:, bit] = samples[:, source]
+                result.counts = bits_histogram(all_bits, tuple(sorted(program.bit_sources)))
+                result.classical_bits = all_bits.tolist()
+            result.truncation_error = state.truncation_error
+            if keep_final_state or not program.num_measurements:
+                result.final_state = state.to_statevector()
+            return result
+
+        all_bits = np.zeros((shots, num_bits), dtype=np.int64)
+        error_model = self.error_model
+        rng = self.rng
+        errors = 0
+        truncation = 0.0
+        for shot in range(shots):
+            state = self._mps_state(num_qubits)
+            bits = all_bits[shot]
+            for op in program.ops:
+                kind = op.kind
+                if kind == GATE:
+                    state.apply_gate(op.matrix, op.qubits)
+                    errors += error_model.apply_after_gate(state, op.qubits, op.duration, rng)
+                elif kind == MEASURE:
+                    outcome = state.measure(op.qubits[0])
+                    outcome = error_model.flip_measurement(outcome, rng)
+                    bits[op.bit] = outcome
+                elif kind == COND_GATE:
+                    if bits[op.condition_bit]:
+                        state.apply_gate(op.matrix, op.qubits)
+                        errors += error_model.apply_after_gate(
+                            state, op.qubits, op.duration, rng
+                        )
+            truncation += state.truncation_error
+            if keep_final_state and shot == shots - 1:
+                result.final_state = state.to_statevector()
+        result.errors_injected = errors
+        result.truncation_error = truncation / shots
+        if program.num_measurements:
+            result.counts = bits_histogram(all_bits, program.measured_bits)
+            result.classical_bits = all_bits.tolist()
+        return result
+
+    def _run_density(self, program, num_qubits, shots):
+        """Exact ensemble execution on the density-matrix engine.
+
+        Gates contract into ``rho`` and a depolarising error model applies
+        its exact channel after each gate — no stochastic injection, so
+        ``errors_injected`` stays 0 and the histogram is sampled from the
+        exact outcome distribution under the shared keying convention.
+        """
+        engine = DensityMatrixSimulator(num_qubits)
+        depolarizing = (
+            self.error_model if isinstance(self.error_model, DepolarizingError) else None
+        )
+        for op in program.ops:
+            if op.kind != GATE:
+                continue
+            engine.apply_unitary(op.matrix, op.qubits)
+            if depolarizing is not None:
+                rate = depolarizing.rate_for(op.qubits)
+                for qubit in op.qubits:
+                    engine.apply_depolarizing(qubit, rate)
+        result = SimulationResult(num_qubits=num_qubits, shots=shots, backend="density")
+        if program.num_measurements:
+            ordered_bits = sorted(program.bit_sources)
+            sources = tuple(program.bit_sources[bit] for bit in ordered_bits)
+            result.counts = sample_index_counts(
+                engine.probabilities(), shots, sources, self.rng
+            )
+            result.classical_bits = counts_to_bits(
+                result.counts,
+                tuple(ordered_bits),
+                shots,
+                size=max(program.num_bits, num_qubits),
+            )
         return result
 
     # ------------------------------------------------------------------ #
@@ -296,19 +507,9 @@ class QXSimulator:
         return total / shots
 
 
-def _bits_histogram(all_bits: np.ndarray, ordered_bits: tuple[int, ...]) -> dict[str, int]:
-    """Histogram a ``(shots, bits)`` array by the shared keying convention:
-    character j of a key is bit ``ordered_bits[-1 - j]`` (lowest rightmost).
-
-    Unique-row based: no integer packing, so the key width is not limited by
-    the 63 value bits of int64.
-    """
-    columns = all_bits[:, list(reversed(ordered_bits))]
-    rows, frequencies = np.unique(columns, axis=0, return_counts=True)
-    return {
-        key: int(frequency)
-        for key, frequency in zip(kernels.bitstring_keys(rows), frequencies)
-    }
+#: Back-compat aliases; the implementations live in :mod:`repro.qx.keying`.
+_bits_histogram = bits_histogram
+_counts_to_bits = counts_to_bits
 
 
 def _has_mid_circuit_measurement(circuit: Circuit) -> bool:
@@ -322,21 +523,3 @@ def _strip_measurements(circuit: Circuit) -> Circuit:
         if not isinstance(op, Measurement):
             stripped.append(op)
     return stripped
-
-
-def _counts_to_bits(counts: dict[str, int], qubits: tuple[int, ...], shots: int) -> list[list[int]]:
-    """Expand a histogram into per-shot classical bit lists (qubit-indexed)."""
-    if not counts:
-        return []
-    if not qubits:
-        return [[] for _ in range(min(shots, sum(counts.values())))]
-    size = max(qubits) + 1
-    keys = list(counts)
-    repeats = np.fromiter((counts[key] for key in keys), dtype=np.int64, count=len(keys))
-    characters = np.frombuffer("".join(keys).encode("ascii"), dtype=np.uint8)
-    bit_rows = (characters - ord("0")).reshape(len(keys), len(qubits)).astype(np.int64)
-    rows = np.zeros((len(keys), size), dtype=np.int64)
-    # Column j of the bit-string corresponds to qubit reversed(qubits)[j];
-    # duplicate targets resolve to the last occurrence, as in a per-entry loop.
-    rows[:, list(reversed(qubits))] = bit_rows
-    return np.repeat(rows, repeats, axis=0)[:shots].tolist()

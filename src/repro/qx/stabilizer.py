@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.circuit import Circuit
 from repro.core.operations import ConditionalGate, GateOperation, Measurement
+from repro.qx.keying import key_for_bit_values
 
 #: Gates the stabilizer engine accepts, mapped to their tableau update.
 CLIFFORD_GATES = ("i", "x", "y", "z", "h", "s", "sdag", "cnot", "cz", "swap")
@@ -123,7 +124,16 @@ class StabilizerState:
     # Measurement
     # ------------------------------------------------------------------ #
     def measure(self, qubit: int) -> int:
-        """Measure one qubit in the Z basis (collapsing the tableau)."""
+        """Measure one qubit in the Z basis (collapsing the tableau).
+
+        Follows the shared measurement-randomness contract of the engine
+        stack: every measurement consumes exactly one uniform draw and
+        returns ``1 iff draw < p_one`` (here ``p_one`` is 0.5 for a random
+        outcome, 0.0 or 1.0 for a deterministic one) — so a seeded
+        trajectory consumes the random stream identically on the tableau,
+        dense and MPS engines, and cross-engine histograms of the same seed
+        are bit-identical.
+        """
         n = self.num_qubits
         q = qubit
         # Random outcome if some stabilizer anticommutes with Z_q.
@@ -150,10 +160,13 @@ class StabilizerState:
             self.x[p] = 0
             self.z[p] = 0
             self.z[p, q] = 1
-            outcome = int(self.rng.integers(2))
+            outcome = 1 if self.rng.random() < 0.5 else 0
             self.r[p] = outcome
             return outcome
-        return self._deterministic_outcome(q)
+        outcome = self._deterministic_outcome(q)
+        # Deterministic outcomes still consume their draw (p_one is exactly
+        # 0.0 or 1.0, so the comparison never flips the result).
+        return 1 if self.rng.random() < float(outcome) else 0
 
     def _deterministic_outcome(self, qubit: int) -> int:
         """Sign of the stabilizer product fixing Z_qubit, without mutation.
@@ -253,7 +266,7 @@ class StabilizerSimulator:
         for _ in range(shots):
             bits = self._run_shot(circuit)
             if bits:
-                key = "".join(str(bits[bit]) for bit in sorted(bits, reverse=True))
+                key = key_for_bit_values(bits)
                 counts[key] = counts.get(key, 0) + 1
         return counts
 

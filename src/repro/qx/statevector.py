@@ -185,24 +185,14 @@ class StateVector:
         """Sample measurement outcomes without collapsing the live state.
 
         Returns a histogram keyed by bit-string with qubit 0 as the rightmost
-        character (cQASM display convention).  The histogram is aggregated
-        over the *unique* sampled basis indices (``np.unique``), so the cost
-        is independent of the shot count beyond the initial draw.
+        character (cQASM display convention).  Sampling and keying are the
+        shared :func:`repro.qx.keying.sample_index_counts` implementation,
+        so the dense and density engines key identically by construction.
         """
-        probs = self.probabilities()
-        outcomes = self.rng.choice(len(probs), size=shots, p=probs / probs.sum())
+        from repro.qx.keying import sample_index_counts
+
         targets = qubits if qubits is not None else tuple(range(self.num_qubits))
-        if not targets:
-            return {"": shots}
-        values, frequencies = np.unique(outcomes, return_counts=True)
-        shifts = np.array(tuple(reversed(targets)))
-        bit_rows = (values[:, None] >> shifts[None, :]) & 1
-        counts: dict[str, int] = {}
-        for key, frequency in zip(kernels.bitstring_keys(bit_rows), frequencies):
-            # Distinct basis indices can share a key when targets are a
-            # strict subset of the register.
-            counts[key] = counts.get(key, 0) + int(frequency)
-        return counts
+        return sample_index_counts(self.probabilities(), shots, targets, self.rng)
 
     def expectation_z(self, qubit: int) -> float:
         """Expectation value of Pauli-Z on a qubit."""

@@ -26,6 +26,7 @@ from repro.runtime.spec import (
     ExperimentSpec,
     PlatformSpec,
     QecSpec,
+    SimulationSpec,
     SweepPoint,
 )
 
@@ -40,6 +41,7 @@ __all__ = [
     "PlatformSpec",
     "PointResult",
     "QecSpec",
+    "SimulationSpec",
     "SweepPoint",
     "default_cache_dir",
     "merge_counts",

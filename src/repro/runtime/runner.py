@@ -125,6 +125,22 @@ class ExperimentRunner:
                 self.cache.put(program_key, lower(canonical, fuse=fuse))
         compile_time = time.perf_counter() - start
 
+        simulation = spec.simulation
+        if simulation.backend is not None:
+            # Fail fast in the parent: an explicitly pinned engine that
+            # cannot run this point's circuit should surface as one clear
+            # UnsupportedBackendError, not as N worker crashes.
+            from repro.qx.backends import DispatchPolicy, profile_circuit
+            from repro.qx.error_models import error_model_for, noise_kind
+
+            DispatchPolicy().validate(
+                simulation.backend,
+                profile_circuit(
+                    canonical,
+                    shots=spec.shots,
+                    noise=noise_kind(error_model_for(qubit_model)),
+                ),
+            )
         cache_dir = str(self.cache.directory) if self.cache is not None else None
         tasks = [
             ShardTask(
@@ -136,6 +152,9 @@ class ExperimentRunner:
                 shard_index=shard_index,
                 qubit_model=None if qubit_model.is_perfect else qubit_model,
                 cache_dir=cache_dir,
+                backend=simulation.backend,
+                max_bond=simulation.max_bond,
+                truncation_threshold=simulation.truncation_threshold,
             )
             for shard_index, size in enumerate(
                 shard_sizes(spec.shots, spec.max_shard_shots, spec.min_shards)
@@ -268,7 +287,13 @@ class ExperimentRunner:
             shards = [shard for shard in shard_results if shard.point_index == index]
             metrics: dict = {}
             for shard in shards:
-                metrics.update(shard.metrics)
+                for key, value in shard.metrics.items():
+                    # Accuracy metrics aggregate pessimistically across
+                    # shards (the worst shard bounds the point).
+                    if key == "truncation_error" and key in metrics:
+                        metrics[key] = max(metrics[key], value)
+                    else:
+                        metrics[key] = value
             result.points.append(
                 PointResult(
                     index=index,

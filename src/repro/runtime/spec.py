@@ -15,8 +15,8 @@ An :class:`ExperimentSpec` captures one full-stack run as plain data:
 Specs are JSON-serialisable (``to_dict``/``from_dict``) so they can be
 stored next to results, shipped to worker processes, and hashed for the
 artifact cache.  Sweep keys address spec fields by dotted path:
-``"shots"``, ``"circuit.<kwarg>"``, ``"platform.<kwarg>"`` or
-``"compiler.<field>"``.
+``"shots"``, ``"backend"``, ``"circuit.<kwarg>"``, ``"platform.<kwarg>"``,
+``"compiler.<field>"`` or ``"simulation.<field>"``.
 """
 
 from __future__ import annotations
@@ -129,6 +129,39 @@ class PlatformSpec:
         ):
             kwargs["num_qubits"] = default_num_qubits
         return factory(**kwargs)
+
+
+@dataclass
+class SimulationSpec:
+    """Which simulation engine executes the shots, and its accuracy knobs.
+
+    ``backend=None`` (the default) lets the
+    :class:`~repro.qx.backends.DispatchPolicy` cost model choose per
+    circuit; an explicit name pins the engine for every sweep point and
+    fails fast (:class:`~repro.qx.backends.UnsupportedBackendError`) when
+    the circuit is outside its capability matrix.  ``max_bond`` and
+    ``truncation_threshold`` are the MPS Schmidt-truncation knobs (``None``
+    = engine defaults: unbounded bond, i.e. exact).  All fields are
+    sweepable as ``"simulation.<field>"``; the backend axis also has the
+    short form ``"backend"`` (e.g. ``backend=statevector,mps``).
+    """
+
+    backend: str | None = None
+    max_bond: int | None = None
+    truncation_threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            from repro.qx.backends import BACKENDS
+
+            if self.backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown backend {self.backend!r}: expected one of {sorted(BACKENDS)}"
+                )
+        if self.max_bond is not None and self.max_bond < 1:
+            raise ValueError("max_bond must be >= 1 (or None for unbounded)")
+        if self.truncation_threshold is not None and self.truncation_threshold < 0.0:
+            raise ValueError("truncation_threshold must be >= 0")
 
 
 @dataclass
@@ -261,6 +294,7 @@ class ExperimentSpec:
     circuit: CircuitSpec | None = None
     platform: PlatformSpec = field(default_factory=PlatformSpec)
     compiler: CompilerSpec = field(default_factory=CompilerSpec)
+    simulation: SimulationSpec = field(default_factory=SimulationSpec)
     shots: int = 1024
     seed: int = 0
     sweep: dict[str, list] = field(default_factory=dict)
@@ -303,11 +337,13 @@ class ExperimentSpec:
                 f"invalid sweep key {key!r} for a compile experiment: expected "
                 "'compile.<field>' or 'circuit.<kwarg>'"
             )
-        if key == "shots" or (head in ("circuit", "platform", "compiler") and tail):
+        if key in ("shots", "backend"):
+            return
+        if head in ("circuit", "platform", "compiler", "simulation") and tail:
             return
         raise ValueError(
-            f"invalid sweep key {key!r}: expected 'shots', 'circuit.<kwarg>', "
-            "'platform.<kwarg>' or 'compiler.<field>'"
+            f"invalid sweep key {key!r}: expected 'shots', 'backend', 'circuit.<kwarg>', "
+            "'platform.<kwarg>', 'compiler.<field>' or 'simulation.<field>'"
         )
 
     # ------------------------------------------------------------------ #
@@ -333,6 +369,7 @@ class ExperimentSpec:
             circuit=copy.deepcopy(self.circuit),
             platform=copy.deepcopy(self.platform),
             compiler=copy.deepcopy(self.compiler),
+            simulation=copy.deepcopy(self.simulation),
             qec=copy.deepcopy(self.qec),
             compile=copy.deepcopy(self.compile),
             sweep={},
@@ -341,6 +378,12 @@ class ExperimentSpec:
             head, _, tail = key.partition(".")
             if key == "shots":
                 bound.shots = int(value)
+            elif key == "backend":
+                bound.simulation.backend = value
+            elif head == "simulation":
+                if not hasattr(bound.simulation, tail):
+                    raise ValueError(f"unknown simulation field in sweep key {key!r}")
+                setattr(bound.simulation, tail, value)
             elif head == "circuit":
                 bound.circuit.kwargs[tail] = value
             elif head == "platform":
@@ -361,6 +404,7 @@ class ExperimentSpec:
                 raise ValueError(f"invalid sweep key {key!r}")
         if bound.shots < 1:
             raise ValueError("swept shots must be >= 1")
+        bound.simulation.__post_init__()  # re-validate swept simulation fields
         if bound.qec is not None:
             bound.qec.__post_init__()  # re-validate swept qec fields
         if bound.compile is not None:
@@ -380,6 +424,8 @@ class ExperimentSpec:
             data["platform"] = PlatformSpec(**data["platform"])
         if "compiler" in data:
             data["compiler"] = CompilerSpec(**data["compiler"])
+        if "simulation" in data:
+            data["simulation"] = SimulationSpec(**data["simulation"])
         if data.get("qec") is not None:
             data["qec"] = QecSpec(**data["qec"])
         if data.get("compile") is not None:

@@ -22,7 +22,15 @@ from repro.runtime.seeding import shard_seed
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One batch of shots of one sweep point, with its seed coordinates."""
+    """One batch of shots of one sweep point, with its seed coordinates.
+
+    ``backend`` pins the simulation engine (``None`` = policy
+    auto-dispatch); ``max_bond`` and ``truncation_threshold`` are the MPS
+    accuracy knobs.  All three come verbatim from the spec's
+    :class:`~repro.runtime.spec.SimulationSpec` (possibly swept), so every
+    shard of a point runs on the same engine configuration and the merged
+    histogram stays bit-identical for any worker count.
+    """
 
     cqasm: str
     num_qubits: int
@@ -32,6 +40,9 @@ class ShardTask:
     shard_index: int
     qubit_model: QubitModel | None = None
     cache_dir: str | None = None
+    backend: str | None = None
+    max_bond: int | None = None
+    truncation_threshold: float | None = None
 
 
 @dataclass
@@ -278,19 +289,34 @@ def run_shard(task: ShardTask | QecShardTask | CompileShardTask) -> ShardResult:
         return _run_qec_shard(task)
     if isinstance(task, CompileShardTask):
         return _run_compile_shard(task)
-    program = load_program(task)
     seed = shard_seed(task.root_seed, task.point_index, task.shard_index)
-    if _noise_free(task.qubit_model):
-        simulator = QXSimulator(num_qubits=task.num_qubits, seed=seed)
+    simulator = QXSimulator(
+        num_qubits=task.num_qubits,
+        qubit_model=None if _noise_free(task.qubit_model) else task.qubit_model,
+        seed=seed,
+        backend=task.backend,
+        max_bond=task.max_bond,
+        truncation_threshold=task.truncation_threshold,
+    )
+    if task.backend == "stabilizer":
+        # The tableau engine executes named gates, not lowered matrices, so
+        # a stabilizer-pinned shard re-parses the compiled cQASM instead of
+        # loading the cached KernelProgram.
+        from repro.cqasm.parser import cqasm_to_circuit
+
+        result = simulator.run(cqasm_to_circuit(task.cqasm), shots=task.shots)
     else:
-        simulator = QXSimulator(
-            num_qubits=task.num_qubits, qubit_model=task.qubit_model, seed=seed
-        )
-    result = simulator.run_program(program, shots=task.shots)
+        result = simulator.run_program(load_program(task), shots=task.shots)
+    metrics: dict = {}
+    if result.backend != "statevector":
+        metrics["backend"] = result.backend
+    if result.backend == "mps":
+        metrics["truncation_error"] = result.truncation_error
     return ShardResult(
         point_index=task.point_index,
         shard_index=task.shard_index,
         shots=task.shots,
         counts=result.counts,
         errors_injected=result.errors_injected,
+        metrics=metrics,
     )

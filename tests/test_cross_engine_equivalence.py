@@ -1,0 +1,136 @@
+"""Cross-engine equivalence: bit-identical counts under one seed.
+
+The engines share a measurement-randomness contract — every measurement
+consumes exactly one uniform draw and returns ``1 iff draw < p_one`` — and
+one keying convention (:mod:`repro.qx.keying`).  On per-shot trajectory
+execution (which hybrid circuits force on every engine) that makes the
+full histogram *bit-identical* across engines for the same seed, not just
+statistically compatible: same draws, same probabilities up to float
+round-off, same keys.
+
+The property tests below generate random hybrid circuits — non-adjacent
+2-qubit gates, cross-mapped measurement bits, mid-circuit measurement and
+classically conditioned gates — and assert exact equality of ``counts``
+and per-shot ``classical_bits`` between the dense engine, the MPS engine
+at ``max_bond=None`` (exact), and (for Clifford gate sets) the stabilizer
+tableau.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import Circuit
+from repro.qx.simulator import QXSimulator
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_CLIFFORD_1Q = ("x", "y", "z", "h", "s", "sdag")
+_UNIVERSAL_1Q = _CLIFFORD_1Q + ("t", "tdag")
+
+
+def _random_hybrid_circuit(seed, num_qubits, depth, gate_names, rng_gates=True):
+    """A hybrid circuit: gates + cross-mapped measurements + feedback.
+
+    Always ends with a conditional gate *after* a measurement, so every
+    engine is forced onto the per-shot trajectory path, and measures every
+    qubit through a shuffled bit map.
+    """
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, num_bits=num_qubits + 1)
+    for _ in range(depth):
+        for qubit in range(num_qubits):
+            draw = rng.random()
+            if num_qubits > 1 and draw < 0.3:
+                other = int(rng.integers(num_qubits - 1))
+                if other >= qubit:
+                    other += 1
+                if rng.random() < 0.5:
+                    circuit.cnot(qubit, other)
+                else:
+                    circuit.cz(qubit, other)
+            elif rng_gates and draw < 0.4:
+                circuit.rz(qubit, float(rng.uniform(0, 2 * np.pi)))
+            else:
+                circuit.add_gate(gate_names[int(rng.integers(len(gate_names)))], qubit)
+    # Mid-circuit measurement into a scratch bit + conditional feedback.
+    probe = int(rng.integers(num_qubits))
+    target = int(rng.integers(num_qubits))
+    circuit.measure(probe, bit=num_qubits)
+    circuit.conditional_gate("x" if rng.random() < 0.5 else "z", num_qubits, target)
+    # Terminal read-out through a shuffled (cross-mapped) bit permutation.
+    bit_map = rng.permutation(num_qubits)
+    for qubit in rng.permutation(num_qubits):
+        circuit.measure(int(qubit), bit=int(bit_map[qubit]))
+    return circuit
+
+
+def _run(circuit, backend, seed, shots):
+    result = QXSimulator(seed=seed, backend=backend).run(circuit, shots=shots)
+    return result.counts, result.classical_bits
+
+
+@SETTINGS
+@given(
+    seed=st.integers(0, 10_000),
+    num_qubits=st.integers(2, 12),
+    depth=st.integers(1, 4),
+)
+def test_statevector_and_mps_bit_identical_on_hybrid_circuits(seed, num_qubits, depth):
+    """Universal gate set (incl. t and rz): dense vs exact MPS."""
+    circuit = _random_hybrid_circuit(seed, num_qubits, depth, _UNIVERSAL_1Q)
+    dense = _run(circuit, "statevector", seed, shots=24)
+    mps = _run(circuit, "mps", seed, shots=24)
+    assert dense == mps
+
+
+@SETTINGS
+@given(
+    seed=st.integers(0, 10_000),
+    num_qubits=st.integers(2, 12),
+    depth=st.integers(1, 4),
+)
+def test_all_three_engines_bit_identical_on_clifford_hybrids(seed, num_qubits, depth):
+    """Clifford subset: dense, tableau and exact MPS must agree exactly."""
+    circuit = _random_hybrid_circuit(seed, num_qubits, depth, _CLIFFORD_1Q, rng_gates=False)
+    dense = _run(circuit, "statevector", seed, shots=16)
+    tableau = _run(circuit, "stabilizer", seed, shots=16)
+    mps = _run(circuit, "mps", seed, shots=16)
+    assert dense == tableau
+    assert dense == mps
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000), num_qubits=st.integers(2, 8))
+def test_conditional_never_fires_when_bit_stays_zero(seed, num_qubits):
+    """Control: a conditional on an unwritten bit is a no-op on every engine."""
+    circuit = Circuit(num_qubits, num_bits=num_qubits + 1)
+    circuit.x(0)
+    circuit.conditional_gate("x", num_qubits, num_qubits - 1)
+    circuit.measure(0, bit=1)
+    circuit.measure(num_qubits - 1, bit=0)
+    expected = {"10": 8}
+    for backend in ("statevector", "stabilizer", "mps"):
+        counts, _ = _run(circuit, backend, seed % 100, shots=8)
+        assert counts == expected, backend
+
+
+def test_auto_dispatch_preserves_explicit_results():
+    """The policy choosing an engine must give the same histogram as naming
+    that engine explicitly (routing changes cost, never results)."""
+    circuit = Circuit(21)
+    circuit.h(0)
+    for qubit in range(1, 21):
+        circuit.cnot(0, qubit)
+    circuit.measure(0)
+    circuit.conditional_gate("x", 0, 20)
+    circuit.measure(20)
+    auto = QXSimulator(seed=9).run(circuit, shots=40)
+    explicit = QXSimulator(seed=9, backend="stabilizer").run(circuit, shots=40)
+    assert auto.backend == "stabilizer"
+    assert auto.counts == explicit.counts
+    assert auto.classical_bits == explicit.classical_bits

@@ -1,0 +1,350 @@
+"""Backend registry, dispatch-policy and capability-matrix tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit, ghz_circuit
+from repro.qx import keying
+from repro.qx.backends import (
+    BACKENDS,
+    BackendCapabilities,
+    DispatchPolicy,
+    UnsupportedBackendError,
+    capability_matrix,
+    entanglement_exponent,
+    profile_circuit,
+    register_backend,
+)
+from repro.qx.error_models import DepolarizingError, DecoherenceError
+from repro.qx.simulator import QXSimulator
+from repro.qx.compiled import program_for
+
+
+def _clifford_dense(num_qubits, gates, seed):
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits)
+    for _ in range(gates):
+        kind = rng.integers(3)
+        if kind == 0:
+            circuit.h(int(rng.integers(num_qubits)))
+        elif kind == 1:
+            circuit.s(int(rng.integers(num_qubits)))
+        else:
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            circuit.cnot(int(a), int(b))
+    return circuit
+
+
+class TestRegistry:
+    def test_all_engines_registered(self):
+        assert set(BACKENDS) >= {"statevector", "stabilizer", "density", "mps"}
+
+    def test_capability_matrix_mentions_every_backend(self):
+        rendered = capability_matrix()
+        for name in BACKENDS:
+            assert name in rendered
+
+    def test_register_backend(self):
+        caps = BackendCapabilities(name="toy", description="test double")
+        register_backend(caps)
+        try:
+            assert BACKENDS["toy"] is caps
+        finally:
+            del BACKENDS["toy"]
+
+
+class TestEntanglementEstimate:
+    def test_ghz_hub_recognised_as_rank_two(self):
+        """One hub qubit talking across every cut bounds the rank at 2."""
+        pairs = [(0, q) for q in range(1, 64)]
+        assert entanglement_exponent(pairs, 64) == 1
+
+    def test_nearest_neighbour_chain(self):
+        pairs = [(q, q + 1) for q in range(31)]
+        assert entanglement_exponent(pairs, 32) == 1
+
+    def test_dense_random_is_unbounded(self):
+        rng = np.random.default_rng(0)
+        pairs = [tuple(sorted(rng.choice(32, 2, replace=False))) for _ in range(300)]
+        assert entanglement_exponent(pairs, 32) >= 10
+
+    def test_no_two_qubit_gates(self):
+        assert entanglement_exponent([], 16) == 0
+
+
+class TestAutoDispatch:
+    """The policy replaces the old STABILIZER_DISPATCH_* constants: same
+    behaviour where the old rules applied, MPS beyond the dense wall."""
+
+    def _choice(self, circuit, **kwargs):
+        profile = profile_circuit(circuit, **kwargs)
+        return DispatchPolicy().choose(profile)
+
+    def test_small_circuit_stays_dense(self):
+        circuit = ghz_circuit(5)
+        circuit.measure_all()
+        assert self._choice(circuit, shots=100) == "statevector"
+
+    def test_trajectory_forcing_clifford_goes_tableau(self):
+        circuit = Circuit(21)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.conditional_gate("x", 0, 20)
+        circuit.measure(20)
+        assert self._choice(circuit, shots=30) == "stabilizer"
+
+    def test_sampled_clifford_below_wall_stays_dense(self):
+        circuit = ghz_circuit(21)
+        circuit.measure_all()
+        assert self._choice(circuit, shots=500) == "statevector"
+
+    def test_ghz_beyond_wall_goes_mps(self):
+        """Low-entanglement Clifford at scale: MPS beats the per-shot tableau."""
+        circuit = ghz_circuit(64)
+        circuit.measure_all()
+        assert self._choice(circuit, shots=1000) == "mps"
+
+    def test_dense_clifford_beyond_wall_goes_tableau(self):
+        circuit = _clifford_dense(30, 250, seed=1)
+        circuit.measure_all()
+        assert self._choice(circuit, shots=100) == "stabilizer"
+
+    def test_non_clifford_beyond_wall_goes_mps(self):
+        circuit = Circuit(30)
+        for qubit in range(30):
+            circuit.t(qubit)
+        for qubit in range(29):
+            circuit.cnot(qubit, qubit + 1)
+        circuit.measure_all()
+        assert self._choice(circuit, shots=100) == "mps"
+
+    def test_noisy_circuit_stays_dense_in_range(self):
+        circuit = ghz_circuit(10)
+        circuit.measure_all()
+        assert self._choice(circuit, shots=10, noise="trajectory") == "statevector"
+
+    def test_initial_state_pins_dense(self):
+        circuit = ghz_circuit(24)
+        circuit.measure_all()
+        assert self._choice(circuit, shots=10, has_initial_state=True) == "statevector"
+
+    def test_measurement_free_beyond_wall_raises(self):
+        profile = profile_circuit(ghz_circuit(30), shots=1)
+        with pytest.raises(UnsupportedBackendError):
+            DispatchPolicy().choose(profile)
+
+    def test_three_qubit_gates_beyond_wall_raise(self):
+        circuit = Circuit(30)
+        circuit.toffoli(0, 1, 2)
+        circuit.measure_all()
+        with pytest.raises(UnsupportedBackendError, match="3-qubit gate"):
+            DispatchPolicy().choose(profile_circuit(circuit, shots=1))
+
+
+class TestUnsupportedBackendErrors:
+    """Explicit backend requests fail fast with the capability matrix."""
+
+    def test_unknown_backend(self):
+        circuit = ghz_circuit(2)
+        circuit.measure_all()
+        with pytest.raises(UnsupportedBackendError, match="unknown backend"):
+            QXSimulator(seed=0).run(circuit, shots=1, backend="qpu")
+
+    def test_stabilizer_rejects_noise(self):
+        circuit = ghz_circuit(3)
+        circuit.measure_all()
+        simulator = QXSimulator(error_model=DepolarizingError(0.01), seed=0)
+        with pytest.raises(UnsupportedBackendError, match="error models"):
+            simulator.run(circuit, shots=2, backend="stabilizer")
+
+    def test_stabilizer_rejects_non_clifford(self):
+        circuit = Circuit(2)
+        circuit.t(0)
+        circuit.measure_all()
+        with pytest.raises(UnsupportedBackendError, match="Clifford"):
+            QXSimulator(seed=0).run(circuit, shots=2, backend="stabilizer")
+
+    def test_density_rejects_large_registers(self):
+        circuit = ghz_circuit(11)
+        circuit.measure_all()
+        with pytest.raises(UnsupportedBackendError, match="exceed the density limit"):
+            QXSimulator(seed=0).run(circuit, shots=2, backend="density")
+
+    def test_density_rejects_feedback(self):
+        circuit = Circuit(2)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.conditional_gate("x", 0, 1)
+        circuit.measure(1)
+        with pytest.raises(UnsupportedBackendError, match="conditional"):
+            QXSimulator(seed=0).run(circuit, shots=2, backend="density")
+
+    def test_density_rejects_decoherence_models(self):
+        circuit = ghz_circuit(2)
+        circuit.measure_all()
+        simulator = QXSimulator(error_model=DecoherenceError(t1_ns=1e4, t2_ns=1e4), seed=0)
+        with pytest.raises(UnsupportedBackendError, match="depolarising channel"):
+            simulator.run(circuit, shots=2, backend="density")
+
+    def test_statevector_rejects_beyond_wall(self):
+        circuit = ghz_circuit(27)
+        circuit.measure_all()
+        with pytest.raises(UnsupportedBackendError, match="exceed the statevector limit"):
+            QXSimulator(seed=0).run(circuit, shots=2, backend="statevector")
+
+    def test_mps_rejects_three_qubit_gates(self):
+        circuit = Circuit(3)
+        circuit.toffoli(0, 1, 2)
+        circuit.measure_all()
+        with pytest.raises(UnsupportedBackendError, match="2-qubit gates"):
+            QXSimulator(seed=0).run(circuit, shots=2, backend="mps")
+
+    def test_message_carries_capability_matrix(self):
+        circuit = ghz_circuit(11)
+        circuit.measure_all()
+        with pytest.raises(UnsupportedBackendError) as excinfo:
+            QXSimulator(seed=0).run(circuit, shots=2, backend="density")
+        message = str(excinfo.value)
+        for name in BACKENDS:
+            assert name in message
+
+    def test_run_program_rejects_stabilizer(self):
+        circuit = ghz_circuit(3)
+        circuit.measure_all()
+        program = program_for(circuit)
+        with pytest.raises(UnsupportedBackendError, match="lowered programs"):
+            QXSimulator(seed=0).run_program(program, shots=2, backend="stabilizer")
+
+
+class TestExplicitBackends:
+    def test_result_records_backend(self):
+        circuit = ghz_circuit(3)
+        circuit.measure_all()
+        for name in ("statevector", "stabilizer", "density", "mps"):
+            result = QXSimulator(seed=1, backend=name).run(circuit, shots=20)
+            assert result.backend == name
+            assert sum(result.counts.values()) == 20
+            assert set(result.counts) <= {"000", "111"}
+
+    def test_run_backend_argument_overrides_constructor(self):
+        circuit = ghz_circuit(3)
+        circuit.measure_all()
+        simulator = QXSimulator(seed=1, backend="statevector")
+        assert simulator.run(circuit, shots=5, backend="mps").backend == "mps"
+
+    def test_density_depolarizing_channel(self):
+        """The density backend applies the exact channel of the error model."""
+        circuit = Circuit(1)
+        circuit.x(0)
+        circuit.measure_all()
+        simulator = QXSimulator(error_model=DepolarizingError(0.3), seed=5, backend="density")
+        result = simulator.run(circuit, shots=5000)
+        # Exact channel: p(0) = 2p/3 = 0.2.
+        assert abs(result.probability("0") - 0.2) < 0.03
+        assert result.errors_injected == 0
+
+    def test_mps_keep_final_state_small_register(self):
+        circuit = ghz_circuit(4)
+        circuit.measure_all()
+        result = QXSimulator(seed=2, backend="mps").run(circuit, shots=3, keep_final_state=True)
+        assert result.final_state is not None
+        assert result.final_state.shape == (16,)
+
+    def test_simulator_mps_knobs_fold_into_dispatch_policy(self):
+        """A simulator-level max_bond is an explicit accuracy opt-in: it
+        configures the MPS engine AND the cost model the policy chooses
+        with, so selection matches the configuration that runs."""
+        simulator = QXSimulator(seed=0, max_bond=3, truncation_threshold=1e-6)
+        policy = simulator._dispatch_policy()
+        assert policy.mps_max_bond == 3
+        assert policy.mps_truncation_threshold == 1e-6
+        assert simulator.policy.mps_max_bond is None  # base policy untouched
+        circuit = ghz_circuit(30)
+        circuit.measure_all()
+        result = simulator.run(circuit, shots=10)
+        assert result.backend == "mps"
+        assert result.truncation_error == 0.0  # GHZ is rank 2 <= the cap
+
+    def test_policy_thresholds_overridable(self):
+        """The policy object replaces the old module constants: lowering the
+        trajectory threshold re-routes a small feedback circuit."""
+        circuit = Circuit(5)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.conditional_gate("x", 0, 4)
+        circuit.measure(4)
+        policy = DispatchPolicy(stabilizer_min_qubits=2)
+        result = QXSimulator(seed=3, policy=policy).run(circuit, shots=10)
+        assert result.backend == "stabilizer"
+
+
+class TestSharedKeyingConvention:
+    """Satellite audit: every engine's histogram path is pinned to the
+    shared helpers of repro.qx.keying — by object identity where a module
+    re-exports them, and behaviourally on a cross-mapped circuit."""
+
+    def test_simulator_aliases_are_the_shared_helpers(self):
+        from repro.qx import simulator
+
+        assert simulator._bits_histogram is keying.bits_histogram
+        assert simulator._counts_to_bits is keying.counts_to_bits
+
+    def test_statevector_sampling_delegates_to_shared_helper(self, monkeypatch):
+        from repro.qx.statevector import StateVector
+
+        calls = []
+        original = keying.sample_index_counts
+        monkeypatch.setattr(
+            keying,
+            "sample_index_counts",
+            lambda *args, **kwargs: calls.append(1) or original(*args, **kwargs),
+        )
+        state = StateVector(2, rng=np.random.default_rng(0))
+        state.sample_counts(5)
+        assert calls
+
+    def _cross_mapped_circuit(self):
+        # x(0) measured into bit 3, idle qubit 1 into bit 0: the key must be
+        # "10" (bit 3 leftmost) on every engine, and bit-indexed classical
+        # bits must put the 1 at index 3.
+        circuit = Circuit(3, num_bits=4)
+        circuit.x(0)
+        circuit.measure(0, bit=3)
+        circuit.measure(1, bit=0)
+        return circuit
+
+    @pytest.mark.parametrize("backend", ["statevector", "stabilizer", "density", "mps"])
+    def test_cross_mapped_bits_keyed_identically(self, backend):
+        result = QXSimulator(seed=4, backend=backend).run(self._cross_mapped_circuit(), shots=6)
+        assert result.counts == {"10": 6}
+        assert all(bits[3] == 1 and bits[0] == 0 for bits in result.classical_bits)
+
+    def test_standalone_engines_match_qx_keying(self):
+        from repro.qx.mps import MPSSimulator
+        from repro.qx.stabilizer import StabilizerSimulator
+
+        circuit = self._cross_mapped_circuit()
+        reference = QXSimulator(seed=4).run(circuit, shots=6).counts
+        assert StabilizerSimulator(seed=4).run(circuit, shots=6) == reference
+        assert MPSSimulator(seed=4).run(circuit, shots=6) == reference
+
+    def test_classical_bits_width_is_engine_and_path_invariant(self):
+        """Sampled and trajectory paths, on every engine, emit classical_bits
+        rows of the full register width — switching engines must never
+        change the result shape."""
+        circuit = Circuit(6)
+        circuit.h(0)
+        circuit.measure(0, bit=0)
+        for backend in ("statevector", "stabilizer", "density", "mps"):
+            result = QXSimulator(seed=6, backend=backend).run(circuit, shots=3)
+            assert all(len(bits) == 6 for bits in result.classical_bits), backend
+
+    def test_repeated_measurement_last_write_wins_everywhere(self):
+        circuit = Circuit(2)
+        circuit.x(0)
+        circuit.measure(0)
+        circuit.x(0)
+        circuit.measure(0)
+        for backend in ("statevector", "stabilizer", "mps"):
+            result = QXSimulator(seed=5, backend=backend).run(circuit, shots=4)
+            assert result.counts == {"0": 4}, backend
