@@ -10,7 +10,9 @@ covered by CI without the timing noise.
 Besides the pass/fail signal, the run writes ``BENCH_smoke.json``: the
 wall time of every executed benchmark test, plus interpreter metadata.  CI
 uploads the file as an artifact so the perf trajectory of the smoke set
-can be diffed across PRs (see docs/performance.md).
+can be diffed across PRs (see docs/performance.md).  The batch-throughput
+benchmark additionally writes its measured speedup to ``BENCH_batch.json``
+next to the smoke artifact (the test honours ``BENCH_BATCH_OUTPUT``).
 
 Usage: ``python scripts/bench_smoke.py [--output PATH] [extra pytest args]``
 """
@@ -79,6 +81,11 @@ def main() -> int:
 
     import pytest
 
+    # The batch-throughput benchmark emits its own artifact; keep it next
+    # to the smoke artifact so CI uploads both from one place.
+    batch_output = os.path.join(os.path.dirname(output_path), "BENCH_batch.json")
+    os.environ.setdefault("BENCH_BATCH_OUTPUT", batch_output)
+
     recorder = TimingRecorder()
     os.chdir(REPO_ROOT)
     start = time.perf_counter()
@@ -94,6 +101,11 @@ def main() -> int:
         f"bench smoke: {executed} benchmarks, {failed} failed, "
         f"{total_s:.1f}s -> {output_path}"
     )
+    batch_path = os.environ["BENCH_BATCH_OUTPUT"]
+    if os.path.exists(batch_path):
+        with open(batch_path) as handle:
+            speedup = json.load(handle).get("speedup")
+        print(f"batch throughput: {speedup}x -> {batch_path}")
     return int(exit_code)
 
 

@@ -40,6 +40,15 @@ compile``::
         --circuit-arg depth=20 --circuit-arg seed=7 --topology grid \
         --sweep compile.placement=trivial,greedy --sweep compile.router=path,sabre
 
+Fleets of small circuits run through the batched execution path with
+``--kind batch``: either a JSON :class:`BatchSpec` file, or one circuit per
+combination of ``--batch-param`` axes (the cartesian product), sharing
+shots/seed/platform defaults::
+
+    python scripts/run_experiment.py --kind batch --circuit rotations --qubits 12 \
+        --batch-param seed=0,1,2,3 --shots 2048
+    python scripts/run_experiment.py --kind batch --batch-spec fleet.json --workers 4
+
 Exits 0 on success, 1 on any failure.
 """
 
@@ -89,10 +98,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--kind",
         default="circuit",
-        choices=("circuit", "qec", "compile"),
+        choices=("circuit", "qec", "compile", "batch"),
         help=(
             "experiment kind: compiled circuit, surface-code memory experiment, "
-            "or compile-and-map pipeline sweep"
+            "compile-and-map pipeline sweep, or many-circuit batched execution"
+        ),
+    )
+    parser.add_argument(
+        "--batch-spec",
+        default=None,
+        help="JSON BatchSpec file (--kind batch; overrides the builder flags)",
+    )
+    parser.add_argument(
+        "--batch-param",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2",
+        help=(
+            "builder-parameter axis for --kind batch (repeatable); the batch runs "
+            "one circuit per combination in the axes' cartesian product, e.g. "
+            "--batch-param seed=0,1,2"
         ),
     )
     parser.add_argument(
@@ -185,7 +210,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="process-pool size (default: all cores)"
     )
     parser.add_argument("--cache-dir", default=None, help="artifact cache directory")
-    parser.add_argument("--no-cache", action="store_true", help="disable the on-disk artifact cache")
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk artifact cache"
+    )
     parser.add_argument("--no-compile", action="store_true", help="skip the OpenQL pass pipeline")
     parser.add_argument("--output", help="write the merged results as JSON to this path")
     parser.add_argument("--quiet", action="store_true", help="suppress the per-point table")
@@ -237,6 +264,14 @@ def spec_from_args(args: argparse.Namespace):
     if args.spec:
         with open(args.spec) as handle:
             return ExperimentSpec.from_dict(json.load(handle))
+    if args.kind != "batch":
+        conflicting = []
+        if args.batch_spec is not None:
+            conflicting.append("--batch-spec")
+        if args.batch_param:
+            conflicting.append("--batch-param")
+        if conflicting:
+            raise SystemExit(f"error: {', '.join(conflicting)} only apply to --kind batch")
     if args.kind != "circuit":
         conflicting = [
             flag
@@ -249,6 +284,8 @@ def spec_from_args(args: argparse.Namespace):
         ]
         if conflicting:
             raise SystemExit(f"error: {', '.join(conflicting)} only apply to --kind circuit")
+    if args.kind == "batch":
+        return _batch_spec_from_args(args)
     if args.kind == "compile":
         conflicting = []
         if args.platform != "perfect":
@@ -290,9 +327,7 @@ def spec_from_args(args: argparse.Namespace):
         if args.no_compile:
             conflicting.append("--no-compile")
         if conflicting:
-            raise SystemExit(
-                f"error: {', '.join(conflicting)} only apply to --kind circuit"
-            )
+            raise SystemExit(f"error: {', '.join(conflicting)} only apply to --kind circuit")
         return ExperimentSpec(
             name=args.name,
             kind="qec",
@@ -322,6 +357,42 @@ def spec_from_args(args: argparse.Namespace):
         shots=args.shots,
         seed=args.seed,
         sweep=_parse_sweep(args.sweep),
+    )
+
+
+def _batch_spec_from_args(args: argparse.Namespace):
+    from repro.runtime import BatchSpec
+    from repro.runtime.spec import CompilerSpec, PlatformSpec, SimulationSpec
+
+    _reject_compile_flags(args)
+    if args.sweep:
+        raise SystemExit("error: --sweep does not apply to --kind batch; use --batch-param axes")
+    if args.batch_spec:
+        with open(args.batch_spec) as handle:
+            return BatchSpec.from_dict(json.load(handle))
+    axes = _parse_sweep(args.batch_param)
+    if not axes:
+        raise SystemExit(
+            "error: --kind batch needs --batch-spec FILE or at least one "
+            "--batch-param key=v1,v2,..."
+        )
+    platform_kwargs: dict = {}
+    if args.error_rate is not None:
+        platform_kwargs["error_rate"] = args.error_rate
+    return BatchSpec.from_product(
+        args.name,
+        args.circuit,
+        axes,
+        base_kwargs=_circuit_kwargs(args),
+        shots=args.shots,
+        seed=args.seed,
+        platform=PlatformSpec(factory=args.platform, kwargs=platform_kwargs),
+        compiler=CompilerSpec(enabled=not args.no_compile),
+        simulation=SimulationSpec(
+            backend=args.backend,
+            max_bond=args.max_bond,
+            truncation_threshold=args.truncation_threshold,
+        ),
     )
 
 
@@ -358,14 +429,38 @@ def print_report(result) -> None:
         )
 
 
+def print_batch_report(result) -> None:
+    plan = result.plan
+    print(
+        f"batch {result.name!r}: {plan.get('circuits', len(result.circuits))} circuit(s), "
+        f"{result.workers} worker(s), {result.total_time_s:.3f}s total"
+    )
+    print(
+        f"plan: {plan.get('stacked_circuits', 0)} stacked / "
+        f"{plan.get('fallback_circuits', 0)} fallback circuit(s) in "
+        f"{plan.get('stack_groups', 0)} group(s), {plan.get('chunks', 0)} chunk(s)"
+    )
+    if result.cache_stats:
+        print(f"artifact cache: {result.cache_stats}")
+    for point in result.circuits:
+        label = point.params.get("label") or "-"
+        top = sorted(point.counts.items(), key=lambda item: -item[1])[:4]
+        tail = "  ".join(f"{bits}:{count}" for bits, count in top)
+        print(
+            f"  [{point.index}] {label:40s} shots={point.shots:<6d} "
+            f"gates={point.gate_count:<4d} {tail}"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     ensure_importable()
     args = build_parser().parse_args(argv)
     try:
         spec = spec_from_args(args)
-        from repro.runtime import ExperimentRunner
+        from repro.runtime import BatchRunner, BatchSpec, ExperimentRunner
 
-        runner = ExperimentRunner(
+        runner_type = BatchRunner if isinstance(spec, BatchSpec) else ExperimentRunner
+        runner = runner_type(
             spec,
             workers=args.workers,
             cache_dir=args.cache_dir,
@@ -376,7 +471,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     if not args.quiet:
-        print_report(result)
+        if isinstance(spec, BatchSpec):
+            print_batch_report(result)
+        else:
+            print_report(result)
     if args.output:
         result.save(args.output)
         print(f"results written to {args.output}")

@@ -334,6 +334,26 @@ def random_circuit(
     return circuit
 
 
+def rotation_ladder_circuit(num_qubits: int, depth: int = 4, seed: int = 0) -> Circuit:
+    """Fixed-structure rotation ladder with seed-drawn angles.
+
+    Every seed produces the *same gate positions* (``depth`` layers of
+    per-qubit rz+ry followed by a CNOT ladder) with different rotation
+    angles — the RB/VQE-style traffic shape the batched runtime is built
+    for: a fleet of such circuits shares one lowering plan and stacks into
+    one ``(batch, 2**n)`` state-vector pass.
+    """
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, f"rotations_{num_qubits}x{depth}")
+    for _ in range(depth):
+        for qubit in range(num_qubits):
+            circuit.rz(qubit, float(rng.uniform(0.0, 2.0 * math.pi)))
+            circuit.ry(qubit, float(rng.uniform(0.0, 2.0 * math.pi)))
+        for qubit in range(num_qubits - 1):
+            circuit.cnot(qubit, qubit + 1)
+    return circuit
+
+
 def qft_circuit(num_qubits: int, with_swaps: bool = True) -> Circuit:
     """Quantum Fourier transform circuit (controlled-phase ladder).
 

@@ -102,4 +102,7 @@ def _flush_bundle(lines: list[str], bundle: list[CqasmInstruction]) -> None:
 def _format_number(value: float) -> str:
     if float(value).is_integer() and abs(value) < 1e9:
         return str(int(value))
-    return f"{value:.10g}"
+    # Shortest round-trip representation: a parsed parameter must rebuild the
+    # exact same float64, so write -> parse -> lower is bit-identical to
+    # lowering the original circuit (the batch runtime relies on this).
+    return repr(float(value))

@@ -18,7 +18,9 @@ error-injection point and duration.
 
 from __future__ import annotations
 
+import hashlib
 import weakref
+from collections import OrderedDict
 
 import numpy as np
 
@@ -99,6 +101,17 @@ class KernelProgram:
         """True when per-shot re-execution is required for correct semantics."""
         return self.has_conditionals or self.has_mid_circuit_measurement
 
+    def sample_sources(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """``(ascending classical bits, their source qubits)`` for sampling.
+
+        The single implementation of the sampled paths' keying setup: the
+        histogram is keyed by classical bit (honouring cross-maps such as
+        ``measure q[3] -> b[0]``) with the qubit each bit was last written
+        from as its value source.
+        """
+        ordered_bits = tuple(sorted(self.bit_sources))
+        return ordered_bits, tuple(self.bit_sources[bit] for bit in ordered_bits)
+
     def apply_unitaries(self, amplitudes: np.ndarray) -> np.ndarray:
         """Apply every unconditional gate in place; returns the amplitude array.
 
@@ -172,9 +185,7 @@ def lower(circuit: Circuit, fuse: bool = True) -> KernelProgram:
             seen_measured.add(op.qubit)
             measured_qubits.append(op.qubit)
             measured_bits.add(op.bit)
-            ops.append(
-                KernelOp(MEASURE, qubits=op.qubits, duration=op.duration, bit=op.bit)
-            )
+            ops.append(KernelOp(MEASURE, qubits=op.qubits, duration=op.duration, bit=op.bit))
         elif isinstance(op, ConditionalGate):
             if seen_measured.intersection(op.qubits):
                 mid_circuit = True
@@ -211,9 +222,263 @@ def lower(circuit: Circuit, fuse: bool = True) -> KernelProgram:
 
 
 # ---------------------------------------------------------------------- #
+# Structural lowering plans
+# ---------------------------------------------------------------------- #
+# A fleet of structurally identical circuits (RB sequences, QAOA iterates:
+# same gate positions, different rotation angles) repeats the *control flow*
+# of lower() — which gates fuse into which runs, where runs flush, which
+# metadata flags are set — while only the matrix arithmetic differs.  A
+# LoweringPlan captures that control flow once per structure; materialising
+# it against a concrete circuit replays exactly the matrix operations
+# lower() would perform (same construction order, same identity elision),
+# so the resulting program is bit-identical to lower()'s.
+
+
+class LoweringPlan:
+    """The structure-only part of lowering one circuit shape."""
+
+    __slots__ = (
+        "steps",
+        "fused",
+        "num_measurements",
+        "has_conditionals",
+        "has_mid_circuit_measurement",
+        "measured_qubits",
+        "measured_bits",
+        "bit_sources",
+    )
+
+    def __init__(
+        self,
+        steps,
+        fused,
+        num_measurements,
+        has_conditionals,
+        has_mid_circuit_measurement,
+        measured_qubits,
+        measured_bits,
+        bit_sources,
+    ):
+        #: Output steps in order: ``("run", op_indices, qubit)`` for a fused
+        #: single-qubit run, ``("gate", i)``, ``("measure", i)`` or
+        #: ``("cond", i)`` referencing ``circuit.operations[i]``.
+        self.steps = steps
+        self.fused = fused
+        self.num_measurements = num_measurements
+        self.has_conditionals = has_conditionals
+        self.has_mid_circuit_measurement = has_mid_circuit_measurement
+        self.measured_qubits = measured_qubits
+        self.measured_bits = measured_bits
+        #: Classical bit -> source qubit, last write wins — structural, so
+        #: shared by every circuit materialising this plan.
+        self.bit_sources = bit_sources
+
+    @property
+    def needs_trajectories(self) -> bool:
+        """Mirror of :attr:`KernelProgram.needs_trajectories` at plan level."""
+        return self.has_conditionals or self.has_mid_circuit_measurement
+
+    def sample_sources(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Plan-level :meth:`KernelProgram.sample_sources` (same convention)."""
+        ordered_bits = tuple(sorted(self.bit_sources))
+        return ordered_bits, tuple(self.bit_sources[bit] for bit in ordered_bits)
+
+
+def structure_key(circuit: Circuit, fuse: bool) -> tuple:
+    """Hashable key of everything that determines a circuit's LoweringPlan.
+
+    Gate *positions* (kinds, operands, classical bits) without gate
+    *values* (matrices, parameters, durations) — two RB sequences with
+    different angles share a key, and therefore share fusion planning.
+    """
+    records = []
+    for op in circuit.operations:
+        if isinstance(op, GateOperation):
+            records.append((0, op.qubits))
+        elif isinstance(op, Measurement):
+            records.append((1, op.qubits, op.bit))
+        elif isinstance(op, ConditionalGate):
+            records.append((2, op.qubits, op.condition_bit))
+        elif isinstance(op, Barrier):
+            records.append((3, op.qubits))
+        # ClassicalOperation carries no lowering semantics.
+    return (circuit.num_qubits, circuit.num_bits, fuse, tuple(records))
+
+
+def _build_plan(circuit: Circuit, fuse: bool) -> LoweringPlan:
+    """Symbolic replay of :func:`lower`: indices instead of matrices."""
+    steps: list[tuple] = []
+    pending: dict[int, list[int]] = {}
+
+    def flush(qubit: int) -> None:
+        indices = pending.pop(qubit, None)
+        if indices is not None:
+            steps.append(("run", tuple(indices), qubit))
+
+    def flush_all() -> None:
+        for qubit in list(pending):
+            flush(qubit)
+
+    measured_qubits: list[int] = []
+    measured_bits: set[int] = set()
+    bit_sources: dict[int, int] = {}
+    has_conditionals = False
+    mid_circuit = False
+    seen_measured: set[int] = set()
+
+    for index, op in enumerate(circuit.operations):
+        if isinstance(op, GateOperation):
+            if seen_measured.intersection(op.qubits):
+                mid_circuit = True
+            if fuse and len(op.qubits) == 1:
+                pending.setdefault(op.qubits[0], []).append(index)
+                continue
+            for qubit in op.qubits:
+                flush(qubit)
+            steps.append(("gate", index))
+        elif isinstance(op, Measurement):
+            flush(op.qubit)
+            seen_measured.add(op.qubit)
+            measured_qubits.append(op.qubit)
+            measured_bits.add(op.bit)
+            bit_sources[op.bit] = op.qubit
+            steps.append(("measure", index))
+        elif isinstance(op, ConditionalGate):
+            if seen_measured.intersection(op.qubits):
+                mid_circuit = True
+            has_conditionals = True
+            for qubit in op.qubits:
+                flush(qubit)
+            steps.append(("cond", index))
+        elif isinstance(op, Barrier):
+            for qubit in op.qubits:
+                flush(qubit)
+    flush_all()
+
+    return LoweringPlan(
+        steps=steps,
+        fused=fuse,
+        num_measurements=len(measured_qubits),
+        has_conditionals=has_conditionals,
+        has_mid_circuit_measurement=mid_circuit,
+        measured_qubits=tuple(measured_qubits),
+        measured_bits=tuple(sorted(measured_bits)),
+        bit_sources=bit_sources,
+    )
+
+
+def _materialize(circuit: Circuit, plan: LoweringPlan) -> KernelProgram:
+    """Instantiate a plan against a concrete circuit's matrices/durations.
+
+    The matrix arithmetic mirrors :func:`lower` operation for operation
+    (initial copy, left-multiplication order, identity elision), so the
+    produced program is bit-identical to ``lower(circuit, fuse)``.
+    """
+    source = circuit.operations
+    ops: list[KernelOp] = []
+    for step in plan.steps:
+        kind = step[0]
+        if kind == "run":
+            _, indices, qubit = step
+            first = source[indices[0]]
+            matrix = np.array(first.gate.matrix, dtype=complex)
+            duration = first.duration
+            for index in indices[1:]:
+                op = source[index]
+                matrix = op.gate.matrix @ matrix
+                duration += op.duration
+            if plan.fused and np.array_equal(matrix, _IDENTITY_2):
+                continue
+            ops.append(KernelOp(GATE, matrix=matrix, qubits=(qubit,), duration=duration))
+        elif kind == "gate":
+            op = source[step[1]]
+            ops.append(
+                KernelOp(
+                    GATE,
+                    matrix=np.asarray(op.gate.matrix, dtype=complex),
+                    qubits=op.qubits,
+                    duration=op.duration,
+                )
+            )
+        elif kind == "measure":
+            op = source[step[1]]
+            ops.append(KernelOp(MEASURE, qubits=op.qubits, duration=op.duration, bit=op.bit))
+        else:  # "cond"
+            op = source[step[1]]
+            ops.append(
+                KernelOp(
+                    COND_GATE,
+                    matrix=np.asarray(op.gate.matrix, dtype=complex),
+                    qubits=op.qubits,
+                    duration=op.duration,
+                    condition_bit=op.condition_bit,
+                )
+            )
+    return KernelProgram(
+        num_qubits=circuit.num_qubits,
+        num_bits=circuit.num_bits,
+        ops=ops,
+        fused=plan.fused,
+        num_measurements=plan.num_measurements,
+        has_conditionals=plan.has_conditionals,
+        has_mid_circuit_measurement=plan.has_mid_circuit_measurement,
+        measured_qubits=plan.measured_qubits,
+        measured_bits=plan.measured_bits,
+    )
+
+
+_PLAN_CACHE_CAP = 256
+_plans: "OrderedDict[tuple, LoweringPlan]" = OrderedDict()
+_plan_stats = {"hits": 0, "misses": 0}
+
+
+def plan_for(circuit: Circuit, fuse: bool = True) -> LoweringPlan:
+    """The (cached) :class:`LoweringPlan` of ``circuit``'s structure.
+
+    Structurally identical circuits (same gate positions, any parameter
+    values) share one plan object, so fleet runtimes can group circuits by
+    plan identity and perform fusion control-flow analysis once per shape.
+    """
+    key = structure_key(circuit, fuse)
+    plan = _plans.get(key)
+    if plan is None:
+        _plan_stats["misses"] += 1
+        plan = _build_plan(circuit, fuse)
+        _plans[key] = plan
+        while len(_plans) > _PLAN_CACHE_CAP:
+            _plans.popitem(last=False)
+    else:
+        _plan_stats["hits"] += 1
+        _plans.move_to_end(key)
+    return plan
+
+
+def lower_structural(circuit: Circuit, fuse: bool = True) -> KernelProgram:
+    """:func:`lower` through the structural plan cache.
+
+    Bit-identical to ``lower(circuit, fuse)``; structurally identical
+    circuits (same gate positions, any parameter values) pay the fusion
+    control-flow analysis once.
+    """
+    return _materialize(circuit, plan_for(circuit, fuse))
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Hit/miss counters of the structural plan cache (process-wide)."""
+    return dict(_plan_stats)
+
+
+# ---------------------------------------------------------------------- #
 # Per-circuit program cache
 # ---------------------------------------------------------------------- #
 _cache: "weakref.WeakKeyDictionary[Circuit, dict]" = weakref.WeakKeyDictionary()
+
+#: Content-addressed programs: structurally identical circuits built as
+#: distinct objects (RB/QAOA generators rebuild every sequence) share one
+#: lowered program.  LRU-capped so long-lived processes stay bounded.
+_CONTENT_CACHE_CAP = 1024
+_content_cache: "OrderedDict[str, KernelProgram]" = OrderedDict()
+_content_stats = {"hits": 0, "misses": 0}
 
 
 def _fingerprint(circuit: Circuit) -> tuple:
@@ -224,8 +489,55 @@ def _fingerprint(circuit: Circuit) -> tuple:
     return tuple(map(id, circuit.operations))
 
 
+def circuit_content_key(circuit: Circuit, fuse: bool) -> str:
+    """Content hash of everything lowering reads: structure *and* values."""
+    hasher = hashlib.sha256()
+    hasher.update(f"{circuit.num_qubits}|{circuit.num_bits}|{int(fuse)}".encode())
+    for op in circuit.operations:
+        if isinstance(op, GateOperation):
+            hasher.update(f"g{op.qubits}{op.duration}".encode())
+            hasher.update(np.ascontiguousarray(op.gate.matrix, dtype=complex).tobytes())
+        elif isinstance(op, Measurement):
+            hasher.update(f"m{op.qubits}{op.bit}{op.duration}".encode())
+        elif isinstance(op, ConditionalGate):
+            hasher.update(f"c{op.qubits}{op.condition_bit}{op.duration}".encode())
+            hasher.update(np.ascontiguousarray(op.gate.matrix, dtype=complex).tobytes())
+        elif isinstance(op, Barrier):
+            hasher.update(f"b{op.qubits}".encode())
+        # ClassicalOperation carries no lowering semantics.
+    return hasher.hexdigest()
+
+
+def content_cache_stats() -> dict[str, int]:
+    """Hit/miss counters of the content-addressed program cache."""
+    return dict(_content_stats)
+
+
+def _content_lookup(circuit: Circuit, fuse: bool) -> KernelProgram:
+    key = circuit_content_key(circuit, fuse)
+    program = _content_cache.get(key)
+    if program is not None:
+        _content_stats["hits"] += 1
+        _content_cache.move_to_end(key)
+        return program
+    _content_stats["misses"] += 1
+    program = lower_structural(circuit, fuse=fuse)
+    _content_cache[key] = program
+    while len(_content_cache) > _CONTENT_CACHE_CAP:
+        _content_cache.popitem(last=False)
+    return program
+
+
 def program_for(circuit: Circuit, fuse: bool = True) -> KernelProgram:
-    """Cached :func:`lower`; recompiles when the circuit was appended to."""
+    """Cached :func:`lower`; recompiles when the circuit was appended to.
+
+    Two cache levels: a weak per-object fast path (no hashing at all for
+    the repeated-execution case), backed by a content-addressed LRU keyed
+    on the circuit's full lowering inputs, so distinct objects with
+    identical content — every sequence an RB generator rebuilds — share
+    one program, and the lowering itself goes through the structural plan
+    cache.
+    """
     try:
         entry = _cache.get(circuit)
     except TypeError:  # unhashable/unweakrefable circuit-like object
@@ -236,6 +548,6 @@ def program_for(circuit: Circuit, fuse: bool = True) -> KernelProgram:
         _cache[circuit] = entry
     program = entry.get(fuse)
     if program is None:
-        program = lower(circuit, fuse=fuse)
+        program = _content_lookup(circuit, fuse)
         entry[fuse] = program
     return program

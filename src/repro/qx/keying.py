@@ -60,9 +60,13 @@ def sample_index_counts(
     independent of the shot count beyond the initial draw.
     """
     probabilities = np.asarray(probabilities, dtype=float)
-    outcomes = rng.choice(
-        len(probabilities), size=shots, p=probabilities / probabilities.sum()
-    )
+    outcomes = rng.choice(len(probabilities), size=shots, p=probabilities / probabilities.sum())
+    return _histogram_outcomes(outcomes, shots, targets)
+
+
+def _histogram_outcomes(
+    outcomes: np.ndarray, shots: int, targets: tuple[int, ...]
+) -> dict[str, int]:
     if not targets:
         return {"": shots}
     values, frequencies = np.unique(outcomes, return_counts=True)
@@ -74,6 +78,38 @@ def sample_index_counts(
         # subset of the register.
         counts[key] = counts.get(key, 0) + int(frequency)
     return counts
+
+
+class PreparedIndexSampler:
+    """Amortised :func:`sample_index_counts` for repeated draws from one state.
+
+    ``Generator.choice(n, size, p=...)`` normalises ``p``, builds its
+    cumulative distribution and then inverse-transform samples via
+    ``cdf.searchsorted(rng.random(size), side="right")``.  The batch runtime
+    draws every shard of a circuit from the *same* probability vector, so
+    this helper performs the normalisation and cumulative sum once and
+    replays only the draw per shard.  The draw consumes the identical
+    ``rng.random(shots)`` stream and applies the identical inverse
+    transform, so the sampled indices — and therefore the histograms — are
+    bit-for-bit those of :func:`sample_index_counts` with the same rng.
+    """
+
+    __slots__ = ("_cdf", "_targets")
+
+    def __init__(self, probabilities: np.ndarray, targets: tuple[int, ...]) -> None:
+        probabilities = np.asarray(probabilities, dtype=float)
+        # Two-step normalisation mirrors sample_index_counts exactly: the
+        # caller-side p / p.sum() feeds Generator.choice, which re-normalises
+        # its cumulative distribution by the final entry.
+        normalized = probabilities / probabilities.sum()
+        cdf = normalized.cumsum()
+        cdf /= cdf[-1]
+        self._cdf = cdf
+        self._targets = targets
+
+    def sample(self, shots: int, rng: np.random.Generator) -> dict[str, int]:
+        outcomes = self._cdf.searchsorted(rng.random(shots), side="right")
+        return _histogram_outcomes(outcomes, shots, self._targets)
 
 
 def counts_to_bits(

@@ -294,8 +294,7 @@ class QXSimulator:
             # path does: character j of a key is the source qubit's value for
             # bit sorted(bits)[-1-j] (lowest bit rightmost).  With the default
             # bit == qubit mapping this is plain ascending qubit order.
-            ordered_bits = sorted(program.bit_sources)
-            sources = tuple(program.bit_sources[bit] for bit in ordered_bits)
+            ordered_bits, sources = program.sample_sources()
             result.counts = state.sample_counts(shots, qubits=sources)
             result.classical_bits = counts_to_bits(
                 result.counts,
@@ -463,8 +462,7 @@ class QXSimulator:
                     engine.apply_depolarizing(qubit, rate)
         result = SimulationResult(num_qubits=num_qubits, shots=shots, backend="density")
         if program.num_measurements:
-            ordered_bits = sorted(program.bit_sources)
-            sources = tuple(program.bit_sources[bit] for bit in ordered_bits)
+            ordered_bits, sources = program.sample_sources()
             result.counts = sample_index_counts(
                 engine.probabilities(), shots, sources, self.rng
             )

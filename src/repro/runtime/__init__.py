@@ -15,7 +15,8 @@ one script.  See ``docs/runtime.md`` for the spec format, the
 sharding/seeding model and cache invalidation rules.
 """
 
-from repro.runtime.aggregate import ExperimentResult, PointResult, merge_counts
+from repro.runtime.aggregate import ExperimentResult, PointResult, merge_counts, merge_metrics
+from repro.runtime.batch import BatchCircuit, BatchResult, BatchRunner, BatchSpec, run_batch
 from repro.runtime.cache import ArtifactCache, default_cache_dir
 from repro.runtime.runner import ExperimentRunner
 from repro.runtime.seeding import shard_seed, shard_sizes
@@ -32,6 +33,10 @@ from repro.runtime.spec import (
 
 __all__ = [
     "ArtifactCache",
+    "BatchCircuit",
+    "BatchResult",
+    "BatchRunner",
+    "BatchSpec",
     "CircuitSpec",
     "CompileSpec",
     "CompilerSpec",
@@ -45,6 +50,8 @@ __all__ = [
     "SweepPoint",
     "default_cache_dir",
     "merge_counts",
+    "merge_metrics",
+    "run_batch",
     "shard_seed",
     "shard_sizes",
 ]

@@ -16,6 +16,26 @@ def merge_counts(histograms) -> dict[str, int]:
     return {key: int(merged[key]) for key in sorted(merged)}
 
 
+def merge_metrics(metric_dicts) -> dict:
+    """Merge per-shard metric dicts into one per-point dict.
+
+    Cache counters (``program_cache_*``, ``plan_cache_*``) are additive
+    across shards; accuracy metrics (``truncation_error``) aggregate
+    pessimistically (the worst shard bounds the point); everything else is
+    a per-point constant where last-write-wins.
+    """
+    metrics: dict = {}
+    for shard_metrics in metric_dicts:
+        for key, value in shard_metrics.items():
+            if key.startswith(("program_cache_", "plan_cache_")):
+                metrics[key] = metrics.get(key, 0) + value
+            elif key == "truncation_error" and key in metrics:
+                metrics[key] = max(metrics[key], value)
+            else:
+                metrics[key] = value
+    return metrics
+
+
 @dataclass
 class PointResult:
     """Merged outcome of one sweep point."""

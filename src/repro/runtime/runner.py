@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.cqasm.parser import cqasm_to_circuit
 from repro.cqasm.writer import circuit_to_cqasm
 from repro.qx.compiled import lower
-from repro.runtime.aggregate import ExperimentResult, PointResult, merge_counts
+from repro.runtime.aggregate import ExperimentResult, PointResult, merge_counts, merge_metrics
 from repro.runtime.cache import ArtifactCache, default_cache_dir
 from repro.runtime.seeding import shard_sizes
 from repro.runtime.spec import ExperimentSpec, SweepPoint
@@ -285,15 +285,7 @@ class ExperimentRunner:
         for planned_point in planned:
             index = planned_point.point.index
             shards = [shard for shard in shard_results if shard.point_index == index]
-            metrics: dict = {}
-            for shard in shards:
-                for key, value in shard.metrics.items():
-                    # Accuracy metrics aggregate pessimistically across
-                    # shards (the worst shard bounds the point).
-                    if key == "truncation_error" and key in metrics:
-                        metrics[key] = max(metrics[key], value)
-                    else:
-                        metrics[key] = value
+            metrics = merge_metrics(shard.metrics for shard in shards)
             result.points.append(
                 PointResult(
                     index=index,

@@ -37,6 +37,7 @@ BUILDERS: dict[str, str] = {
     "ghz": "repro.core.circuit:ghz_circuit",
     "qft": "repro.core.circuit:qft_circuit",
     "random": "repro.core.circuit:random_circuit",
+    "rotations": "repro.core.circuit:rotation_ladder_circuit",
 }
 
 #: Registry of platform factories addressable by short name.

@@ -11,6 +11,7 @@ per distinct circuit regardless of how many shards it executes.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.qubits import QubitModel
@@ -128,8 +129,19 @@ def _noise_free(qubit_model: QubitModel | None) -> bool:
     return qubit_model is None or qubit_model.is_perfect
 
 
-#: Per-process memo of lowered programs, keyed by cache key.
-_PROGRAMS: dict[str, KernelProgram] = {}
+#: Per-process memo of lowered programs, keyed by cache key.  LRU with a
+#: hard size cap: long-lived batch workers stream thousands of distinct
+#: circuits through one process, so an unbounded memo would grow without
+#: limit.  Hit/miss counters are surfaced per shard (and summed per point
+#: by the runner) for cache observability.
+PROGRAM_MEMO_CAP = 128
+_PROGRAMS: OrderedDict[str, KernelProgram] = OrderedDict()
+_program_memo_stats = {"hits": 0, "misses": 0}
+
+
+def program_memo_stats() -> dict[str, int]:
+    """Cumulative hit/miss counters of this process's program memo."""
+    return dict(_program_memo_stats)
 
 
 def load_program(task: ShardTask) -> KernelProgram:
@@ -138,7 +150,10 @@ def load_program(task: ShardTask) -> KernelProgram:
     key = program_cache_key(task.cqasm, fuse)
     program = _PROGRAMS.get(key)
     if program is not None:
+        _program_memo_stats["hits"] += 1
+        _PROGRAMS.move_to_end(key)
         return program
+    _program_memo_stats["misses"] += 1
     cache = ArtifactCache(task.cache_dir) if task.cache_dir else None
     program = cache.get(key) if cache is not None else None
     if not isinstance(program, KernelProgram):
@@ -148,6 +163,8 @@ def load_program(task: ShardTask) -> KernelProgram:
         if cache is not None:
             cache.put(key, program)
     _PROGRAMS[key] = program
+    while len(_PROGRAMS) > PROGRAM_MEMO_CAP:
+        _PROGRAMS.popitem(last=False)
     return program
 
 
@@ -298,6 +315,7 @@ def run_shard(task: ShardTask | QecShardTask | CompileShardTask) -> ShardResult:
         max_bond=task.max_bond,
         truncation_threshold=task.truncation_threshold,
     )
+    metrics: dict = {}
     if task.backend == "stabilizer":
         # The tableau engine executes named gates, not lowered matrices, so
         # a stabilizer-pinned shard re-parses the compiled cQASM instead of
@@ -306,8 +324,10 @@ def run_shard(task: ShardTask | QecShardTask | CompileShardTask) -> ShardResult:
 
         result = simulator.run(cqasm_to_circuit(task.cqasm), shots=task.shots)
     else:
+        before = dict(_program_memo_stats)
         result = simulator.run_program(load_program(task), shots=task.shots)
-    metrics: dict = {}
+        metrics["program_cache_hits"] = _program_memo_stats["hits"] - before["hits"]
+        metrics["program_cache_misses"] = _program_memo_stats["misses"] - before["misses"]
     if result.backend != "statevector":
         metrics["backend"] = result.backend
     if result.backend == "mps":

@@ -43,3 +43,42 @@ def assert_equivalent_up_to_phase(matrix_a: np.ndarray, matrix_b: np.ndarray, at
     phase = matrix_a[index] / matrix_b[index]
     assert abs(abs(phase) - 1.0) < 1e-6, "matrices differ by more than a phase"
     np.testing.assert_allclose(matrix_a, phase * matrix_b, atol=atol)
+
+
+# ---------------------------------------------------------------------- #
+# Circuit builders referenced by specs as "helpers:<name>"
+# ---------------------------------------------------------------------- #
+def cross_measured_circuit(num_qubits: int = 3, depth: int = 2, seed: int = 0):
+    """Rotation ladder measuring qubit ``i`` into bit ``num_qubits - 1 - i``.
+
+    Exercises the cross-mapped ``measure q[i] -> b[j]`` keying path; used
+    with ``measure="asis"`` so the explicit cross map survives spec building.
+    """
+    from repro.core.circuit import Circuit
+
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits)
+    for _ in range(depth):
+        for qubit in range(num_qubits):
+            circuit.rz(qubit, float(rng.uniform(0, 2 * np.pi)))
+            circuit.ry(qubit, float(rng.uniform(0, 2 * np.pi)))
+        for qubit in range(num_qubits - 1):
+            circuit.cnot(qubit, qubit + 1)
+    for qubit in range(num_qubits):
+        circuit.measure(qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def flipped_bit_circuit(num_qubits: int = 2):
+    """X on qubit 0, every qubit measured into the mirrored classical bit.
+
+    Deterministic: every shot keys as ``"10...0"`` (qubit 0's outcome lands
+    on the highest classical bit, the leftmost key character).
+    """
+    from repro.core.circuit import Circuit
+
+    circuit = Circuit(num_qubits)
+    circuit.x(0)
+    for qubit in range(num_qubits):
+        circuit.measure(qubit, num_qubits - 1 - qubit)
+    return circuit

@@ -1,0 +1,280 @@
+"""Property and regression tests for the batched (stacked-fleet) kernels.
+
+The batch runtime evolves a ``(batch, 2**n)`` stack of statevectors with one
+kernel call per gate position (:func:`repro.qx.kernels.apply_gate_batch`)
+plus two rewrite primitives (adjacent dense-pair gemms and composed basis
+permutations).  Every batched path must agree row-by-row with the scalar
+kernels — bit-identically for pure amplitude moves (permutations, shared
+matrices), and to floating-point reassociation (~1 ULP) for the gemm paths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.gates import build_gate
+from repro.qx import kernels
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+CNOT = build_gate("cnot").matrix
+SWAP = build_gate("swap").matrix
+X = build_gate("x").matrix
+H = build_gate("h").matrix
+
+
+def _random_unitary(dim: int, rng: np.random.Generator) -> np.ndarray:
+    gaussian = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(gaussian)
+    diagonal = np.diag(r)
+    return q * (diagonal / np.abs(diagonal))
+
+
+def _random_stack(batch: int, num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    stack = rng.normal(size=(batch, 2**num_qubits)) + 1j * rng.normal(
+        size=(batch, 2**num_qubits)
+    )
+    return stack / np.linalg.norm(stack, axis=1, keepdims=True)
+
+
+def _random_1q_matrices(batch: int, rng: np.random.Generator) -> np.ndarray:
+    """Per-row 2x2 unitaries mixing every structure class the kernel splits on."""
+    choices = [
+        lambda: _random_unitary(2, rng),
+        lambda: np.diag(np.exp(1j * rng.normal(size=2))),  # diagonal
+        lambda: np.array([[0, np.exp(1j * rng.normal())], [1, 0]], dtype=complex),
+        lambda: np.eye(2, dtype=complex),
+    ]
+    return np.array([choices[rng.integers(len(choices))]() for _ in range(batch)])
+
+
+def _random_2q_matrices(batch: int, rng: np.random.Generator) -> np.ndarray:
+    """Per-row 4x4 unitaries across diagonal/controlled/swap/dense classes."""
+    choices = [
+        lambda: _random_unitary(4, rng),
+        lambda: np.diag(np.exp(1j * rng.normal(size=4))),
+        lambda: CNOT.astype(complex),
+        lambda: SWAP.astype(complex),
+        lambda: np.kron(_random_unitary(2, rng), _random_unitary(2, rng)),
+    ]
+    return np.array([choices[rng.integers(len(choices))]() for _ in range(batch)])
+
+
+def _scalar_reference_1q(stack, matrices, qubit):
+    expected = stack.copy()
+    for row, matrix in zip(expected, matrices):
+        kernels.apply_1q(row, matrix, qubit)
+    return expected
+
+
+def _scalar_reference_2q(stack, matrices, qubit_0, qubit_1):
+    expected = stack.copy()
+    for row, matrix in zip(expected, matrices):
+        kernels.apply_2q(row, matrix, qubit_0, qubit_1)
+    return expected
+
+
+# ---------------------------------------------------------------------- #
+# apply_1q_batch
+# ---------------------------------------------------------------------- #
+@SETTINGS
+@given(seed=st.integers(0, 10_000), num_qubits=st.integers(1, 6), batch=st.integers(1, 7))
+def test_apply_1q_batch_matches_scalar_loop(seed, num_qubits, batch):
+    rng = np.random.default_rng(seed)
+    qubit = int(rng.integers(num_qubits))
+    stack = _random_stack(batch, num_qubits, rng)
+    matrices = _random_1q_matrices(batch, rng)
+    expected = _scalar_reference_1q(stack, matrices, qubit)
+
+    got = stack.copy()
+    result = kernels.apply_1q_batch(got, matrices, qubit)
+    assert result is got
+    np.testing.assert_allclose(result, expected, atol=1e-12, rtol=1e-12)
+
+
+@pytest.mark.parametrize("qubit", [1, 6])  # right-kron (low<=16) and left-gemm (low>16)
+def test_apply_1q_batch_gemm_branches_with_scratch(qubit):
+    rng = np.random.default_rng(7)
+    num_qubits, batch = 8, 5
+    stack = _random_stack(batch, num_qubits, rng)
+    matrices = np.array([_random_unitary(2, rng) for _ in range(batch)])
+    expected = _scalar_reference_1q(stack, matrices, qubit)
+
+    plain = stack.copy()
+    assert kernels.apply_1q_batch(plain, matrices, qubit) is plain
+    np.testing.assert_allclose(plain, expected, atol=1e-12, rtol=1e-12)
+
+    buffered = stack.copy()
+    scratch = np.empty_like(buffered)
+    result = kernels.apply_1q_batch(buffered, matrices, qubit, scratch=scratch)
+    assert result is scratch  # dense rows write into the spare buffer
+    # Double buffering must not change a single bit vs the no-scratch gemm.
+    assert (result == plain).all()
+
+
+def test_apply_1q_batch_shared_matrix_is_bit_identical_to_scalar():
+    rng = np.random.default_rng(11)
+    stack = _random_stack(4, 5, rng)
+    matrix = _random_unitary(2, rng)
+    matrices = np.broadcast_to(matrix, (4, 2, 2)).copy()
+    expected = _scalar_reference_1q(stack, matrices, 2)
+
+    got = stack.copy()
+    scratch = np.empty_like(got)
+    result = kernels.apply_1q_batch(got, matrices, 2, scratch=scratch)
+    assert result is got  # shared-matrix path stays in place
+    assert (result == expected).all()
+
+
+def test_apply_1q_batch_scale_only_rows_stay_on_masked_path():
+    rng = np.random.default_rng(13)
+    stack = _random_stack(3, 4, rng)
+    matrices = np.array([np.diag(np.exp(1j * rng.normal(size=2))) for _ in range(3)])
+    matrices[1] = np.diag([1.0, np.exp(0.5j)])  # identity upper level on one row
+    expected = _scalar_reference_1q(stack, matrices, 1)
+
+    got = stack.copy()
+    scratch = np.empty_like(got)
+    result = kernels.apply_1q_batch(got, matrices, 1, scratch=scratch)
+    assert result is got  # diagonal stacks never consume the scratch
+    np.testing.assert_allclose(result, expected, atol=1e-12, rtol=1e-12)
+
+
+# ---------------------------------------------------------------------- #
+# apply_2q_batch
+# ---------------------------------------------------------------------- #
+@SETTINGS
+@given(seed=st.integers(0, 10_000), num_qubits=st.integers(2, 6), batch=st.integers(1, 7))
+def test_apply_2q_batch_matches_scalar_loop(seed, num_qubits, batch):
+    rng = np.random.default_rng(seed)
+    qubit_0, qubit_1 = rng.choice(num_qubits, size=2, replace=False)
+    qubit_0, qubit_1 = int(qubit_0), int(qubit_1)
+    stack = _random_stack(batch, num_qubits, rng)
+    matrices = _random_2q_matrices(batch, rng)
+    expected = _scalar_reference_2q(stack, matrices, qubit_0, qubit_1)
+
+    got = stack.copy()
+    result = kernels.apply_2q_batch(got, matrices, qubit_0, qubit_1)
+    assert result is got
+    np.testing.assert_allclose(result, expected, atol=1e-12, rtol=1e-12)
+
+
+@pytest.mark.parametrize("q_low", [1, 5])  # right-kron (low<=16) and left-gemm (low>16)
+def test_apply_2q_batch_dense_adjacent_gemm_with_scratch(q_low):
+    rng = np.random.default_rng(17)
+    num_qubits, batch = 8, 4
+    stack = _random_stack(batch, num_qubits, rng)
+    matrices = np.array([_random_unitary(4, rng) for _ in range(batch)])
+    structures = [kernels.DENSE_2Q] * batch
+    # Operand 0 high on adjacent qubits: the gemm fast path's trigger shape.
+    qubit_0, qubit_1 = q_low + 1, q_low
+    expected = _scalar_reference_2q(stack, matrices, qubit_0, qubit_1)
+
+    got = stack.copy()
+    scratch = np.empty_like(got)
+    result = kernels.apply_2q_batch(
+        got, matrices, qubit_0, qubit_1, structures=structures, scratch=scratch
+    )
+    assert result is scratch
+    np.testing.assert_allclose(result, expected, atol=1e-12, rtol=1e-12)
+
+
+def test_apply_2q_batch_mixed_structures_with_scratch_stay_in_place():
+    rng = np.random.default_rng(19)
+    stack = _random_stack(4, 5, rng)
+    matrices = np.array(
+        [CNOT.astype(complex), SWAP.astype(complex), _random_unitary(4, rng), np.diag(np.exp(1j * rng.normal(size=4)))]
+    )
+    expected = _scalar_reference_2q(stack, matrices, 3, 1)
+
+    got = stack.copy()
+    scratch = np.empty_like(got)
+    result = kernels.apply_2q_batch(got, matrices, 3, 1, scratch=scratch)
+    assert result is got  # mixed structures take the masked in-place path
+    np.testing.assert_allclose(result, expected, atol=1e-12, rtol=1e-12)
+
+
+def test_apply_gate_batch_rejects_wide_gates():
+    stack = np.zeros((2, 8), dtype=complex)
+    stack[:, 0] = 1.0
+    matrices = np.broadcast_to(np.eye(8, dtype=complex), (2, 8, 8)).copy()
+    with pytest.raises(ValueError, match="3-qubit"):
+        kernels.apply_gate_batch(stack, matrices, (0, 1, 2))
+
+
+# ---------------------------------------------------------------------- #
+# Basis-permutation composition
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "matrix,qubits",
+    [
+        (CNOT, (2, 0)),
+        (CNOT, (0, 3)),
+        (SWAP, (1, 3)),
+        (X, (2,)),
+    ],
+)
+def test_permutation_index_matches_scalar_kernel(matrix, qubits):
+    num_qubits = 4
+    rng = np.random.default_rng(23)
+    state = _random_stack(1, num_qubits, rng)[0]
+    indices = kernels.permutation_index(matrix.astype(complex), qubits, num_qubits)
+    assert indices is not None
+
+    expected = state.copy()
+    kernels.apply_gate_inplace(expected, matrix.astype(complex), qubits)
+    # Gathers are exact amplitude moves: bit-identical, not just close.
+    assert (state[indices] == expected).all()
+
+
+def test_permutation_chain_composes_by_gather_of_gather():
+    num_qubits = 5
+    rng = np.random.default_rng(29)
+    state = _random_stack(1, num_qubits, rng)[0]
+    ladder = [(CNOT, (q, q + 1)) for q in range(num_qubits - 1)]
+
+    combined = kernels.permutation_index(
+        ladder[0][0].astype(complex), ladder[0][1], num_qubits
+    )
+    for matrix, qubits in ladder[1:]:
+        combined = combined[kernels.permutation_index(matrix.astype(complex), qubits, num_qubits)]
+
+    expected = state.copy()
+    for matrix, qubits in ladder:
+        kernels.apply_gate_inplace(expected, matrix.astype(complex), qubits)
+    assert (state[combined] == expected).all()
+
+
+def test_permutation_index_rejects_non_permutations():
+    assert kernels.permutation_index(H.astype(complex), (0,), 3) is None
+    rz = build_gate("rz", 0.3).matrix
+    assert kernels.permutation_index(rz, (1,), 3) is None
+    # One entry per row/column but not 0/1 valued (iswap-like) is rejected too.
+    iswap_like = np.array([[0, 1j], [1j, 0]], dtype=complex)
+    assert kernels.permutation_index(iswap_like, (0,), 2) is None
+
+
+def test_permutation_index_is_memoised_by_content():
+    first = kernels.permutation_index(CNOT.astype(complex), (1, 0), 3)
+    second = kernels.permutation_index(CNOT.copy().astype(complex), (1, 0), 3)
+    assert first is second
+
+
+def test_permute_basis_batch_scratch_and_in_place_agree():
+    rng = np.random.default_rng(31)
+    stack = _random_stack(3, 4, rng)
+    indices = kernels.permutation_index(SWAP.astype(complex), (0, 3), 4)
+
+    in_place = stack.copy()
+    assert kernels.permute_basis_batch(in_place, indices) is in_place
+
+    buffered = stack.copy()
+    scratch = np.empty_like(buffered)
+    result = kernels.permute_basis_batch(buffered, indices, scratch=scratch)
+    assert result is scratch
+    assert (result == in_place).all()

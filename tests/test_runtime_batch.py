@@ -1,0 +1,314 @@
+"""Determinism and planning tests for the many-circuit batch runtime.
+
+The contract under test: a :class:`~repro.runtime.batch.BatchRunner` fleet
+produces, for every circuit ``i``, the *bit-identical* histogram a serial
+:class:`~repro.runtime.runner.ExperimentRunner` sweep assigns to point
+``i`` — for any worker count, any chunk layout, mixed per-circuit backend
+overrides, and cross-mapped measurement bits.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.qx.keying import PreparedIndexSampler, sample_index_counts
+from repro.runtime.batch import BatchCircuit, BatchRunner, BatchSpec, run_batch
+from repro.runtime.runner import ExperimentRunner
+from repro.runtime.spec import CircuitSpec, CompilerSpec, ExperimentSpec, SimulationSpec
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ROTATIONS = {"num_qubits": 5, "depth": 2}
+
+
+def _serial_sweep(seeds, shots=96, compile_enabled=False, builder="rotations", measure="all"):
+    spec = ExperimentSpec(
+        name="serial",
+        kind="circuit",
+        circuit=CircuitSpec(builder=builder, kwargs=dict(ROTATIONS), measure=measure),
+        sweep={"circuit.seed": list(seeds)},
+        shots=shots,
+        seed=0,
+        compiler=CompilerSpec(enabled=compile_enabled),
+    )
+    return ExperimentRunner(spec, workers=1, use_cache=False).run()
+
+
+def _batch_product(seeds, shots=96, compile_enabled=False, builder="rotations", measure="all", **kw):
+    return BatchSpec.from_product(
+        "batch",
+        builder,
+        {"seed": list(seeds)},
+        base_kwargs=dict(ROTATIONS),
+        measure=measure,
+        shots=shots,
+        compiler=CompilerSpec(enabled=compile_enabled),
+        **kw,
+    )
+
+
+def _assert_counts_match(serial_points, batch_circuits):
+    assert len(serial_points) == len(batch_circuits)
+    for point, circuit in zip(serial_points, batch_circuits):
+        assert point.counts == circuit.counts  # bit-identical histograms
+        assert sum(point.counts.values()) == point.shots
+
+
+# ---------------------------------------------------------------------- #
+# Batch vs the serial sweep
+# ---------------------------------------------------------------------- #
+def test_batch_matches_serial_sweep():
+    seeds = range(6)
+    serial = _serial_sweep(seeds)
+    batch = run_batch(_batch_product(seeds), workers=1, use_cache=False)
+    _assert_counts_match(serial.points, batch.circuits)
+    assert batch.plan["stacked_circuits"] == 6
+    assert batch.plan["fallback_circuits"] == 0
+
+
+def test_batch_matches_serial_sweep_with_compiler():
+    seeds = range(3)
+    serial = _serial_sweep(seeds, compile_enabled=True)
+    batch = run_batch(_batch_product(seeds, compile_enabled=True), workers=1, use_cache=False)
+    _assert_counts_match(serial.points, batch.circuits)
+
+
+def test_workers_and_chunk_layout_do_not_change_results():
+    seeds = range(6)
+    reference = run_batch(_batch_product(seeds), workers=1, use_cache=False)
+    chunked = run_batch(
+        _batch_product(seeds, max_chunk_circuits=2), workers=3, use_cache=False
+    )
+    assert chunked.plan["chunks"] == 3
+    _assert_counts_match(reference.circuits, chunked.circuits)
+
+
+# ---------------------------------------------------------------------- #
+# Mixed backends inside one batch
+# ---------------------------------------------------------------------- #
+def test_mixed_backend_batch_matches_serial():
+    """Statevector, stabilizer and MPS rows of one fleet all match serial."""
+    backends = ["statevector", "stabilizer", "mps"]
+    ghz = CircuitSpec(builder="ghz", kwargs={"num_qubits": 5})
+    serial = ExperimentRunner(
+        ExperimentSpec(
+            name="serial",
+            kind="circuit",
+            circuit=ghz,
+            sweep={"backend": backends},
+            shots=64,
+            seed=0,
+            compiler=CompilerSpec(enabled=False),
+        ),
+        workers=1,
+        use_cache=False,
+    ).run()
+    batch = run_batch(
+        BatchSpec(
+            name="mixed",
+            circuits=[BatchCircuit(circuit=ghz, backend=backend) for backend in backends],
+            shots=64,
+            compiler=CompilerSpec(enabled=False),
+        ),
+        workers=1,
+        use_cache=False,
+    )
+    _assert_counts_match(serial.points, batch.circuits)
+    # Pinned statevector stacks; stabilizer and MPS run as fallback tasks.
+    assert batch.plan["stacked_circuits"] == 1
+    assert batch.plan["fallback_circuits"] == 2
+    for circuit in batch.circuits:
+        assert set(circuit.counts) <= {"00000", "11111"}
+
+
+# ---------------------------------------------------------------------- #
+# Cross-mapped measurement bits
+# ---------------------------------------------------------------------- #
+def test_cross_mapped_measurements_match_serial():
+    seeds = range(3)
+    serial = _serial_sweep(seeds, builder="helpers:cross_measured_circuit", measure="asis")
+    batch = run_batch(
+        _batch_product(seeds, builder="helpers:cross_measured_circuit", measure="asis"),
+        workers=1,
+        use_cache=False,
+    )
+    assert batch.plan["stacked_circuits"] == 3  # the cross map stays stackable
+    _assert_counts_match(serial.points, batch.circuits)
+
+
+def test_cross_mapped_measurements_key_by_classical_bit():
+    batch = run_batch(
+        BatchSpec(
+            name="flipped",
+            circuits=[
+                BatchCircuit(
+                    circuit=CircuitSpec(
+                        builder="helpers:flipped_bit_circuit",
+                        kwargs={"num_qubits": 2},
+                        measure="asis",
+                    )
+                )
+            ],
+            shots=32,
+            compiler=CompilerSpec(enabled=False),
+        ),
+        workers=1,
+        use_cache=False,
+    )
+    # Qubit 0 (the flipped one) measures into bit 1, the leftmost character.
+    assert batch.circuits[0].counts == {"10": 32}
+
+
+# ---------------------------------------------------------------------- #
+# Per-circuit overrides and seeding
+# ---------------------------------------------------------------------- #
+def test_per_circuit_overrides_resolve_like_batch_defaults():
+    circuit = CircuitSpec(builder="rotations", kwargs=dict(ROTATIONS))
+    overridden = run_batch(
+        BatchSpec(
+            name="overrides",
+            circuits=[
+                BatchCircuit(circuit=circuit),
+                BatchCircuit(circuit=circuit, shots=32, seed=5),
+            ],
+            shots=96,
+            seed=0,
+            compiler=CompilerSpec(enabled=False),
+        ),
+        workers=1,
+        use_cache=False,
+    )
+    as_defaults = run_batch(
+        BatchSpec(
+            name="defaults",
+            circuits=[BatchCircuit(circuit=circuit), BatchCircuit(circuit=circuit)],
+            shots=32,
+            seed=5,
+            compiler=CompilerSpec(enabled=False),
+        ),
+        workers=1,
+        use_cache=False,
+    )
+    assert sum(overridden.circuits[0].counts.values()) == 96
+    assert sum(overridden.circuits[1].counts.values()) == 32
+    # Same circuit index + same resolved (shots, seed) => same shard streams.
+    assert overridden.circuits[1].counts == as_defaults.circuits[1].counts
+
+
+# ---------------------------------------------------------------------- #
+# Plan sharing and cache observability
+# ---------------------------------------------------------------------- #
+def test_same_structure_circuits_share_one_plan():
+    runner = BatchRunner(_batch_product(range(4)), workers=1, use_cache=False)
+    planned = runner.plan()
+    assert all(circuit.stackable for circuit in planned)
+    first = planned[0].plan
+    assert all(circuit.plan is first for circuit in planned[1:])
+    result = runner.run()
+    assert result.plan["stack_groups"] == 1
+    assert result.plan["stack_chunks"] == 1
+
+
+def test_plan_cache_counters_reach_point_metrics():
+    result = run_batch(_batch_product(range(4)), workers=1, use_cache=False)
+    metrics = [circuit.metrics for circuit in result.circuits]
+    assert all("plan_cache_hits" in m and "plan_cache_misses" in m for m in metrics)
+    # One structural miss for the group, hits for every subsequent circuit.
+    assert sum(m["plan_cache_hits"] for m in metrics) >= 3
+
+
+# ---------------------------------------------------------------------- #
+# Spec plumbing
+# ---------------------------------------------------------------------- #
+def test_batchspec_json_roundtrip():
+    spec = _batch_product(range(3), max_chunk_circuits=7)
+    restored = BatchSpec.from_json(spec.to_json())
+    assert restored.to_dict() == spec.to_dict()
+    assert restored.circuits[1].circuit.kwargs["seed"] == 1
+    assert restored.max_chunk_circuits == 7
+
+
+def test_from_product_orders_like_a_sweep():
+    spec = BatchSpec.from_product(
+        "grid", "rotations", {"num_qubits": [4, 5], "seed": [0, 1]}
+    )
+    labels = [circuit.label for circuit in spec.circuits]
+    assert labels == [
+        "num_qubits=4,seed=0",
+        "num_qubits=4,seed=1",
+        "num_qubits=5,seed=0",
+        "num_qubits=5,seed=1",
+    ]
+
+
+def test_batchspec_validation():
+    with pytest.raises(ValueError, match="at least one circuit"):
+        BatchSpec(name="empty", circuits=[])
+    with pytest.raises(ValueError, match="unknown backend"):
+        BatchCircuit(
+            circuit=CircuitSpec(builder="ghz", kwargs={"num_qubits": 2}),
+            backend="quantum",
+        )
+    with pytest.raises(ValueError, match="shots"):
+        BatchCircuit(circuit=CircuitSpec(builder="ghz", kwargs={"num_qubits": 2}), shots=0)
+
+
+# ---------------------------------------------------------------------- #
+# The amortised sampler
+# ---------------------------------------------------------------------- #
+def test_prepared_sampler_replays_generator_choice_exactly():
+    rng = np.random.default_rng(42)
+    probabilities = rng.random(64)
+    targets = (5, 1, 0, 3)
+    reference = sample_index_counts(
+        probabilities, 257, targets, np.random.default_rng(1234)
+    )
+    prepared = PreparedIndexSampler(probabilities, targets).sample(
+        257, np.random.default_rng(1234)
+    )
+    assert prepared == reference
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+# ---------------------------------------------------------------------- #
+def test_cli_batch_kind(tmp_path):
+    output = tmp_path / "batch.json"
+    process = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(REPO_ROOT, "scripts", "run_experiment.py"),
+            "--kind",
+            "batch",
+            "--circuit",
+            "rotations",
+            "--qubits",
+            "4",
+            "--circuit-arg",
+            "depth=2",
+            "--batch-param",
+            "seed=0,1,2",
+            "--shots",
+            "32",
+            "--workers",
+            "1",
+            "--no-compile",
+            "--no-cache",
+            "--quiet",
+            "--output",
+            str(output),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert process.returncode == 0, process.stderr
+    payload = json.loads(output.read_text())
+    assert len(payload["circuits"]) == 3
+    assert payload["plan"]["stacked_circuits"] == 3
+    for circuit in payload["circuits"]:
+        assert sum(circuit["counts"].values()) == 32
