@@ -8,11 +8,17 @@ larger distance wins, above threshold it loses (the pseudo-threshold
 crossover), and the small codes suppress errors quadratically.
 """
 
+import json
+import os
+import time
+
 import pytest
 
 from bench_utils import print_table, run_once
 from repro.qec.codes import RepetitionCode, SteaneCode
 from repro.qec.surface_code import PlanarSurfaceCode
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 @pytest.mark.bench_smoke
@@ -175,3 +181,181 @@ def test_qec_runtime_sweep_bit_identical_across_workers(benchmark):
         p.errors_injected for p in parallel.points
     ]
     assert all(point.shots == 200 for point in serial.points)
+
+
+# --------------------------------------------------------------------- #
+# Circuit-level noise: threshold curve + union-find volume decoding
+# --------------------------------------------------------------------- #
+
+#: Calibrated p-values bracketing the circuit-level threshold (~0.008 for
+#: the union-find decoder on this extraction schedule): clearly below,
+#: near, and clearly above.  The crossing must sit inside [0.001, 0.02].
+THRESHOLD_PS = (0.004, 0.008, 0.016)
+THRESHOLD_DISTANCES = (3, 5, 7)
+THRESHOLD_TRIALS = 3000
+#: Generous wall-clock ceiling for each d=5 point (the CI-failure guard).
+D5_POINT_BUDGET_S = 60.0
+
+
+@pytest.mark.bench_smoke
+def test_qec_threshold_curve(benchmark):
+    """E6g: circuit-level logical-error-rate-vs-p curves at d in {3, 5, 7}.
+
+    Runs the real syndrome-extraction circuit through the Pauli-frame
+    sampler and union-find decoder at three calibrated p-values, writes the
+    curve (rate + wall-clock per point) to ``BENCH_qec.json`` (override with
+    ``BENCH_QEC_OUTPUT``), and asserts the threshold-crossing shape: below
+    threshold larger distance wins, above it larger distance loses.  Fails
+    the job when any d=5 point exceeds its wall-clock budget.
+    """
+
+    def sweep():
+        points = []
+        for p in THRESHOLD_PS:
+            for distance in THRESHOLD_DISTANCES:
+                code = PlanarSurfaceCode(distance)
+                start = time.perf_counter()
+                result = code.run_circuit_memory_experiment(
+                    p, trials=THRESHOLD_TRIALS, seed=11
+                )
+                wall_s = time.perf_counter() - start
+                points.append(
+                    {
+                        "distance": distance,
+                        "physical_error_rate": p,
+                        "trials": THRESHOLD_TRIALS,
+                        "logical_error_rate": round(result.logical_error_rate, 6),
+                        "logical_failures": result.logical_failures,
+                        "defects_per_trial": round(result.total_defects / THRESHOLD_TRIALS, 2),
+                        "wall_s": round(wall_s, 4),
+                    }
+                )
+        return points
+
+    points = run_once(benchmark, sweep)
+
+    record = {
+        "schema": 1,
+        "kind": "qec_threshold",
+        "noise_model": "circuit",
+        "decoder": "union_find",
+        "rounds": "distance",
+        "points": points,
+    }
+    output = os.environ.get("BENCH_QEC_OUTPUT", os.path.join(REPO_ROOT, "BENCH_qec.json"))
+    with open(output, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    by_p = {
+        p: {pt["distance"]: pt for pt in points if pt["physical_error_rate"] == p}
+        for p in THRESHOLD_PS
+    }
+    print_table(
+        "E6g circuit-level threshold curve (union-find decoder, rounds = d)",
+        ["physical_p", "d=3", "d=5", "d=7", "d5_wall_s"],
+        [
+            (
+                p,
+                by_p[p][3]["logical_error_rate"],
+                by_p[p][5]["logical_error_rate"],
+                by_p[p][7]["logical_error_rate"],
+                by_p[p][5]["wall_s"],
+            )
+            for p in THRESHOLD_PS
+        ],
+    )
+    low, high = THRESHOLD_PS[0], THRESHOLD_PS[-1]
+    # Below threshold: monotone suppression with distance.
+    assert by_p[low][7]["logical_error_rate"] <= by_p[low][5]["logical_error_rate"]
+    assert by_p[low][5]["logical_error_rate"] <= by_p[low][3]["logical_error_rate"]
+    assert by_p[low][7]["logical_error_rate"] < by_p[low][3]["logical_error_rate"]
+    # Above threshold: the ordering flips, so the curves crossed in between
+    # (and [low, high] sits inside the [0.001, 0.02] acceptance window).
+    assert by_p[high][7]["logical_error_rate"] >= by_p[high][5]["logical_error_rate"]
+    assert by_p[high][5]["logical_error_rate"] >= by_p[high][3]["logical_error_rate"]
+    assert by_p[high][7]["logical_error_rate"] > by_p[high][3]["logical_error_rate"]
+    assert 0.001 <= low and high <= 0.02
+    for p in THRESHOLD_PS:
+        assert by_p[p][5]["wall_s"] <= D5_POINT_BUDGET_S, (
+            f"d=5 point at p={p} took {by_p[p][5]['wall_s']}s "
+            f"(budget {D5_POINT_BUDGET_S}s)"
+        )
+
+
+@pytest.mark.bench_smoke
+def test_union_find_d11_speedup_vs_blossom(benchmark):
+    """E6h: union-find must decode d=11 circuit-level defect sets >= 5x
+    faster than the blossom fallback, agreeing on the crossing parity."""
+    import numpy as np
+
+    from repro.qec.decoder import MatchingDecoder
+    from repro.qec.pauli_frame import FrameNoise
+    from repro.qec.union_find import UnionFindDecoder
+
+    code = PlanarSurfaceCode(11)
+    shots = 40
+
+    def measure():
+        sampler = code._sampler(11)
+        sample = sampler.sample(shots, FrameNoise(0.008, 0.008, 0.008), seed=3)
+        observed = sample.bits.reshape(shots, 11, code.num_ancilla)
+        final = sample.final_x[:, : code.num_data]
+        syndromes = np.concatenate(
+            [observed, code.syndrome_batch(final)[:, None, :]], axis=1
+        )
+        changed = syndromes.copy()
+        changed[:, 1:, :] ^= syndromes[:, :-1, :]
+        defect_sets = []
+        for shot in range(shots):
+            times, ancillas = np.nonzero(changed[shot])
+            defect_sets.append(list(zip(times.tolist(), ancillas.tolist())))
+        union_find = UnionFindDecoder(code)
+        blossom = MatchingDecoder(code)
+        start = time.perf_counter()
+        uf_parities = [union_find.decode(defects) for defects in defect_sets]
+        uf_s = time.perf_counter() - start
+        start = time.perf_counter()
+        mw_parities = [blossom.decode(defects) for defects in defect_sets]
+        mw_s = time.perf_counter() - start
+        mean_defects = sum(len(d) for d in defect_sets) / shots
+        return uf_parities, mw_parities, uf_s, mw_s, mean_defects
+
+    uf_parities, mw_parities, uf_s, mw_s, mean_defects = run_once(benchmark, measure)
+    print_table(
+        f"E6h d=11 decoding, {shots} circuit-level shots "
+        f"({mean_defects:.0f} defects/shot)",
+        ["decoder", "wall_s", "per_shot_ms"],
+        [
+            ("union_find", round(uf_s, 3), round(1000 * uf_s / shots, 2)),
+            ("blossom", round(mw_s, 3), round(1000 * mw_s / shots, 2)),
+            ("speedup", round(mw_s / uf_s, 1), "-"),
+        ],
+    )
+    assert uf_parities == mw_parities
+    assert mw_s / uf_s >= 5.0
+
+
+@pytest.mark.bench_smoke
+def test_union_find_d15_batch(benchmark):
+    """E6i: a d=15 circuit-level batch (200 trials, 15 rounds) must decode
+    in CI-tractable time with the union-find decoder."""
+    code = PlanarSurfaceCode(15)
+
+    def measure():
+        start = time.perf_counter()
+        result = code.run_circuit_memory_experiment(0.008, trials=200, seed=5)
+        return result, time.perf_counter() - start
+
+    result, wall_s = run_once(benchmark, measure)
+    print_table(
+        "E6i d=15 circuit-level batch (union-find decoder)",
+        ["metric", "value"],
+        [
+            ("trials", result.trials),
+            ("defects_per_trial", round(result.total_defects / result.trials, 1)),
+            ("logical_error_rate", round(result.logical_error_rate, 4)),
+            ("wall_s", round(wall_s, 2)),
+        ],
+    )
+    assert wall_s < 60.0

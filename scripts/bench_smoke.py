@@ -12,7 +12,9 @@ wall time of every executed benchmark test, plus interpreter metadata.  CI
 uploads the file as an artifact so the perf trajectory of the smoke set
 can be diffed across PRs (see docs/performance.md).  The batch-throughput
 benchmark additionally writes its measured speedup to ``BENCH_batch.json``
-next to the smoke artifact (the test honours ``BENCH_BATCH_OUTPUT``).
+next to the smoke artifact (the test honours ``BENCH_BATCH_OUTPUT``), and
+the qec-threshold benchmark writes the circuit-level
+logical-error-rate-vs-p curve to ``BENCH_qec.json`` (``BENCH_QEC_OUTPUT``).
 
 Usage: ``python scripts/bench_smoke.py [--output PATH] [extra pytest args]``
 """
@@ -81,10 +83,13 @@ def main() -> int:
 
     import pytest
 
-    # The batch-throughput benchmark emits its own artifact; keep it next
-    # to the smoke artifact so CI uploads both from one place.
+    # The batch-throughput and qec-threshold benchmarks emit their own
+    # artifacts; keep them next to the smoke artifact so CI uploads all
+    # three from one place.
     batch_output = os.path.join(os.path.dirname(output_path), "BENCH_batch.json")
     os.environ.setdefault("BENCH_BATCH_OUTPUT", batch_output)
+    qec_output = os.path.join(os.path.dirname(output_path), "BENCH_qec.json")
+    os.environ.setdefault("BENCH_QEC_OUTPUT", qec_output)
 
     recorder = TimingRecorder()
     os.chdir(REPO_ROOT)
@@ -106,6 +111,11 @@ def main() -> int:
         with open(batch_path) as handle:
             speedup = json.load(handle).get("speedup")
         print(f"batch throughput: {speedup}x -> {batch_path}")
+    qec_path = os.environ["BENCH_QEC_OUTPUT"]
+    if os.path.exists(qec_path):
+        with open(qec_path) as handle:
+            points = json.load(handle).get("points", [])
+        print(f"qec threshold curve: {len(points)} points -> {qec_path}")
     return int(exit_code)
 
 

@@ -31,6 +31,14 @@ counts logical failures::
     python scripts/run_experiment.py --kind qec --distance 5 --error-rate 0.01 \
         --sweep qec.distance=3,5,7 --shots 2000 --workers 4
 
+Circuit-level noise (Pauli-frame sampling of the real syndrome-extraction
+circuit, union-find decoding) is selected with ``--noise-model circuit``;
+sweeping the physical error rate produces the threshold curve::
+
+    python scripts/run_experiment.py --kind qec --noise-model circuit \
+        --sweep qec.distance=3,5,7 --sweep qec.physical_error_rate=0.002,0.006,0.012 \
+        --shots 4000 --workers 4
+
 Compile-and-map sweeps run the full pass pipeline (placement, hybrid-aware
 routing, scheduling) against a constrained topology and report mapping
 metrics (SWAPs, overhead, makespan, locality) per point with ``--kind
@@ -131,6 +139,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="ancilla read-out error rate (--kind qec; defaults to the physical rate)",
+    )
+    parser.add_argument(
+        "--noise-model",
+        default=None,
+        choices=("phenomenological", "circuit"),
+        help=(
+            "qec noise model: i.i.d. per-round flips, or circuit-level Pauli-frame "
+            "sampling of the real extraction circuit (--kind qec)"
+        ),
+    )
+    parser.add_argument(
+        "--decoder",
+        default=None,
+        choices=("matching", "union_find"),
+        help=(
+            "syndrome decoder (--kind qec); defaults to matching for "
+            "phenomenological noise and union_find for circuit-level noise"
+        ),
     )
     parser.add_argument(
         "--placement",
@@ -284,6 +310,17 @@ def spec_from_args(args: argparse.Namespace):
         ]
         if conflicting:
             raise SystemExit(f"error: {', '.join(conflicting)} only apply to --kind circuit")
+    if args.kind != "qec":
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--noise-model", args.noise_model),
+                ("--decoder", args.decoder),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            raise SystemExit(f"error: {', '.join(conflicting)} only apply to --kind qec")
     if args.kind == "batch":
         return _batch_spec_from_args(args)
     if args.kind == "compile":
@@ -336,6 +373,8 @@ def spec_from_args(args: argparse.Namespace):
                 rounds=args.rounds,
                 physical_error_rate=args.error_rate if args.error_rate is not None else 1e-3,
                 measurement_error_rate=args.measurement_error_rate,
+                noise_model=args.noise_model or "phenomenological",
+                decoder=args.decoder,
             ),
             shots=args.shots,
             seed=args.seed,

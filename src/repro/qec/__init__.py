@@ -6,15 +6,22 @@ through error-syndrome measurements (ESM), and a decoder interprets the
 syndrome graph in real time.  This subpackage implements
 
 * small codes as circuits (3-qubit repetition, Shor-9, Steane-7) executed on
-  the QX simulator, and
-* a Pauli-frame planar surface-code model with multi-round syndrome
-  extraction and a matching-based decoder, used for the logical-vs-physical
-  error-rate experiment (E6).
+  the QX simulator,
+* a planar surface-code model with multi-round syndrome extraction under
+  phenomenological noise, used for the logical-vs-physical error-rate
+  experiment (E6),
+* a Pauli-frame sampler for *circuit-level* noise on the real
+  syndrome-extraction circuit (depolarizing CNOTs, faulty
+  measurements/resets), and
+* two space-time decoders: exact blossom matching and the almost-linear
+  union-find decoder that keeps d >= 15 decoding tractable.
 """
 
 from repro.qec.codes import RepetitionCode, ShorCode, SteaneCode
 from repro.qec.surface_code import PlanarSurfaceCode, SurfaceCodeResult
-from repro.qec.decoder import MatchingDecoder, LookupDecoder
+from repro.qec.decoder import DECODER_NAMES, MatchingDecoder, LookupDecoder, decoder_for
+from repro.qec.pauli_frame import FrameNoise, FrameSample, PauliFrameSampler
+from repro.qec.union_find import UnionFindDecoder
 
 __all__ = [
     "RepetitionCode",
@@ -24,4 +31,10 @@ __all__ = [
     "SurfaceCodeResult",
     "MatchingDecoder",
     "LookupDecoder",
+    "UnionFindDecoder",
+    "DECODER_NAMES",
+    "decoder_for",
+    "FrameNoise",
+    "FrameSample",
+    "PauliFrameSampler",
 ]

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 import networkx as nx
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.qec.surface_code import PlanarSurfaceCode
@@ -30,11 +31,41 @@ class MatchingDecoder:
     observable, 0 otherwise.  Comparing this parity with the true error
     parity decides logical success, which avoids materialising the full
     correction chain.
+
+    All geometry is memoised against the code's incidence layout at
+    construction: the ancilla-by-ancilla Chebyshev distance matrix, the
+    per-ancilla boundary distance, and the crossing-parity indicators.
+    ``decode`` only combines these tables with the defects' round indices,
+    so repeated calls (one per trial in a memory experiment) no longer
+    recompute all-pairs plaquette distances from the centre coordinates.
     """
 
     def __init__(self, code: "PlanarSurfaceCode", time_weight: float = 1.0):
         self.code = code
         self.time_weight = time_weight
+        centres = np.asarray(code.plaquette_centres, dtype=float)
+        self._rows = centres[:, 0]
+        #: Chebyshev spatial distance between every pair of plaquettes,
+        #: memoised once per decoder instead of per decode call.
+        self._spatial = np.maximum(
+            np.abs(self._rows[:, None] - self._rows[None, :]),
+            np.abs(centres[:, 1][:, None] - centres[:, 1][None, :]),
+        )
+        #: Distance from each plaquette to its nearest open boundary.
+        self._boundary_dist = np.minimum(
+            self._rows + 0.5, (code.distance - 0.5) - self._rows
+        )
+        #: 1 when the plaquette sits above the reference row (rows are
+        #: half-integers, never equal to the integer reference row).
+        above = self._rows < code.reference_row
+        self._above = above.astype(np.int8)
+        #: Crossing parity of the chain to the nearest boundary: it crosses
+        #: the reference row iff the defect and its nearest boundary lie on
+        #: opposite sides of it.
+        nearest_top = self._rows + 0.5 <= (code.distance - 0.5) - self._rows
+        self._boundary_par = (nearest_top & ~above).astype(np.int8) | (
+            ~nearest_top & above
+        ).astype(np.int8)
 
     # ------------------------------------------------------------------ #
     def decode(self, defects: list[tuple[int, int]]) -> int:
@@ -68,58 +99,71 @@ class MatchingDecoder:
 
     def _pair_parity(self, a: tuple[int, int], b: tuple[int, int]) -> int:
         """Crossing parity of the correction chain joining two defects."""
-        row_a = self._defect_row(a)
-        row_b = self._defect_row(b)
-        low, high = min(row_a, row_b), max(row_a, row_b)
-        return 1 if low < self.code.reference_row < high else 0
+        return int(self._above[a[1]] ^ self._above[b[1]])
 
     def _boundary_parity(self, defect: tuple[int, int]) -> int:
         """Crossing parity of a chain from a defect to its nearest boundary
         (top when closer to the top)."""
-        reference = self.code.reference_row
-        row = self._defect_row(defect)
-        to_top = row + 0.5
-        to_bottom = (self.code.distance - 0.5) - row
-        if to_top <= to_bottom:
-            return 1 if reference < row else 0
-        return 1 if reference > row else 0
+        return int(self._boundary_par[defect[1]])
 
     # ------------------------------------------------------------------ #
     def _defect_row(self, defect: tuple[int, int]) -> float:
-        _, ancilla = defect
-        return self.code.plaquette_centres[ancilla][0]
-
-    def _defect_position(self, defect: tuple[int, int]) -> tuple[float, float, float]:
-        round_index, ancilla = defect
-        row, col = self.code.plaquette_centres[ancilla]
-        return (row, col, float(round_index))
+        return float(self._rows[defect[1]])
 
     def _spacetime_weight(self, a: tuple[int, int], b: tuple[int, int]) -> float:
-        row_a, col_a, t_a = self._defect_position(a)
-        row_b, col_b, t_b = self._defect_position(b)
-        spatial = max(abs(row_a - row_b), abs(col_a - col_b))
-        return spatial + self.time_weight * abs(t_a - t_b)
+        return float(self._spatial[a[1], b[1]]) + self.time_weight * abs(a[0] - b[0])
 
     def _boundary_weight(self, defect: tuple[int, int]) -> float:
-        row = self._defect_row(defect)
-        return min(row + 0.5, (self.code.distance - 0.5) - row)
+        return float(self._boundary_dist[defect[1]])
 
     def _match(self, defects: list[tuple[int, int]]):
-        """Blossom matching over defects plus one virtual boundary node each."""
+        """Blossom matching over defects plus one virtual boundary node each.
+
+        All pairwise weights come from the memoised distance tables in one
+        vectorized gather; only the graph assembly and blossom search remain
+        per-call work.
+        """
+        count = len(defects)
+        times = np.asarray([t for t, _ in defects], dtype=float)
+        ancillas = np.asarray([a for _, a in defects], dtype=np.intp)
+        weights = self._spatial[np.ix_(ancillas, ancillas)] + self.time_weight * np.abs(
+            times[:, None] - times[None, :]
+        )
+        boundary_weights = self._boundary_dist[ancillas]
         graph = nx.Graph()
-        nodes = [("defect", i) for i in range(len(defects))]
-        boundary_nodes = [("boundary", i) for i in range(len(defects))]
+        nodes = [("defect", i) for i in range(count)]
+        boundary_nodes = [("boundary", i) for i in range(count)]
         large = 1e6
         for i, node_a in enumerate(nodes):
-            for j in range(i + 1, len(nodes)):
-                weight = self._spacetime_weight(defects[i], defects[j])
-                graph.add_edge(node_a, nodes[j], weight=large - weight)
-            graph.add_edge(node_a, boundary_nodes[i], weight=large - self._boundary_weight(defects[i]))
+            for j in range(i + 1, count):
+                graph.add_edge(node_a, nodes[j], weight=large - weights[i, j])
+            graph.add_edge(node_a, boundary_nodes[i], weight=large - boundary_weights[i])
         for i, boundary_a in enumerate(boundary_nodes):
-            for j in range(i + 1, len(boundary_nodes)):
+            for j in range(i + 1, count):
                 graph.add_edge(boundary_a, boundary_nodes[j], weight=large)
         matching = nx.max_weight_matching(graph, maxcardinality=True)
         return list(matching)
+
+
+#: Names accepted by :func:`decoder_for` (and the runtime's ``decoder=`` knob).
+DECODER_NAMES = ("matching", "union_find")
+
+
+def decoder_for(code: "PlanarSurfaceCode", name: str, time_weight: float = 1.0):
+    """Instantiate a surface-code decoder by registry name.
+
+    ``"matching"`` is the exact blossom decoder (cross-check fallback);
+    ``"union_find"`` is the almost-linear weighted-growth decoder that keeps
+    d >= 15 decoding tractable.  Both share the ``decode(defects) -> parity``
+    interface.
+    """
+    if name == "matching":
+        return MatchingDecoder(code, time_weight=time_weight)
+    if name == "union_find":
+        from repro.qec.union_find import UnionFindDecoder
+
+        return UnionFindDecoder(code, time_weight=time_weight)
+    raise ValueError(f"unknown decoder {name!r}; expected one of {DECODER_NAMES}")
 
 
 class LookupDecoder:

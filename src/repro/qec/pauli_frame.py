@@ -1,0 +1,258 @@
+"""Pauli-frame sampling of circuit-level noise on Clifford circuits.
+
+Phenomenological QEC models flip data qubits i.i.d. between syndrome rounds;
+the paper's full-stack story needs *circuit-level* noise: a depolarizing
+error on every CNOT of the actual syndrome-extraction circuit and a
+classical flip on every measurement and reset.  Simulating that per shot on
+the tableau would cost O(shots * n^2) per measurement; the Pauli-frame
+technique makes it O(n) frame updates per location instead:
+
+1. the noiseless circuit is executed **once** on the stabilizer engine with
+   pinned measurement outcomes (:meth:`~repro.qx.stabilizer.StabilizerSimulator.reference_run`)
+   — the *reference frame*;
+2. each shot carries only a Pauli frame (X/Z flip bits per qubit, here a
+   whole ``(shots, n)`` bit-plane so all shots advance together);
+3. Clifford gates conjugate the frame in O(1) bit operations per qubit
+   (CNOT: ``X_c -> X_c X_t``, ``Z_t -> Z_t Z_c``; H swaps X/Z; S maps
+   ``X -> Y``), sampled errors XOR into it, and a measurement's outcome is
+   the reference outcome XOR the qubit's X-frame bit XOR a read-out flip.
+
+This is exact for stabilizer circuits whose reference outcomes are
+deterministic (the syndrome-extraction circuits built by
+:meth:`~repro.qec.surface_code.PlanarSurfaceCode.extraction_circuit` are:
+data qubits start in |0> and every plaquette parity is fixed).  The sampler
+refuses circuits with random reference outcomes rather than silently
+decorrelating them.
+
+Noise model (:class:`FrameNoise`)
+---------------------------------
+* ``cnot_error_rate`` — after every CNOT, with this probability one of the
+  15 non-identity two-qubit Paulis (uniformly) is applied to the pair;
+* ``measurement_error_rate`` — every measurement outcome is flipped with
+  this probability (classical read-out error);
+* ``reset_error_rate`` — every reset re-prepares |1> instead of |0> with
+  this probability.
+
+Resets are recognised from the canonical measure-then-``c-x`` idiom: a
+conditional X on a qubit, conditioned on the bit that qubit's most recent
+measurement wrote, is measure-and-reset (the tableau reference executes it
+literally; the frame sampler clears the qubit's frame and injects the reset
+flip).
+
+Randomness contract: one uniform draw per CNOT (the sub-``p`` mass is
+reused to pick the Pauli, so the draw count per shot is exactly the
+location count), one per measurement, one per reset, consumed in program
+order — a shard's sample stream is a pure function of its seed, which is
+what the runtime's bit-identical 1-vs-N-workers contract requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.circuit import Circuit
+from repro.core.operations import Barrier, ConditionalGate, GateOperation, Measurement
+from repro.qx.stabilizer import ReferenceRun, StabilizerSimulator
+
+#: X/Z flip masks of the 15 non-identity two-qubit Paulis, indexed by
+#: ``k in 0..14`` -> Pauli ``(k + 1) = 4 * control_letter + target_letter``
+#: with letters I=0, X=1, Y=2, Z=3.  Column order: (x_control, x_target,
+#: z_control, z_target).
+_LETTER_X = np.array([0, 1, 1, 0], dtype=np.uint8)
+_LETTER_Z = np.array([0, 0, 1, 1], dtype=np.uint8)
+_PAULI2 = np.arange(1, 16)
+DEPOLARIZING2_FLIPS = np.stack(
+    [
+        _LETTER_X[_PAULI2 // 4],
+        _LETTER_X[_PAULI2 % 4],
+        _LETTER_Z[_PAULI2 // 4],
+        _LETTER_Z[_PAULI2 % 4],
+    ],
+    axis=1,
+)
+
+
+@dataclass(frozen=True)
+class FrameNoise:
+    """Circuit-level error rates applied during frame sampling."""
+
+    cnot_error_rate: float = 0.0
+    measurement_error_rate: float = 0.0
+    reset_error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("cnot_error_rate", "measurement_error_rate", "reset_error_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} outside [0, 1]: {rate}")
+
+
+@dataclass
+class FrameSample:
+    """One vectorized batch of Pauli-frame shots."""
+
+    #: Measured classical bits, shape ``(shots, num_bits)`` (uint8).
+    bits: np.ndarray
+    #: Final X-frame per qubit, shape ``(shots, num_qubits)`` — the physical
+    #: X-error pattern each shot ends in, relative to the reference.
+    final_x: np.ndarray
+    #: Final Z-frame per qubit, shape ``(shots, num_qubits)``.
+    final_z: np.ndarray
+
+
+class PauliFrameSampler:
+    """Samples circuit-level noisy executions of one Clifford circuit.
+
+    The constructor runs the tableau reference once and compiles the circuit
+    into a flat schedule of frame updates; :meth:`sample` then advances all
+    shots through the schedule with O(n) numpy bit-plane updates per
+    location.
+    """
+
+    #: Gate name -> frame conjugation, applied before error injection.
+    SUPPORTED_GATES = ("i", "x", "y", "z", "h", "s", "sdag", "cnot", "cz", "swap")
+
+    def __init__(self, circuit: Circuit, reference: ReferenceRun | None = None):
+        if reference is None:
+            reference = StabilizerSimulator(seed=0).reference_run(circuit)
+        if not reference.all_deterministic:
+            random_count = sum(1 for flag in reference.deterministic if not flag)
+            raise ValueError(
+                f"circuit has {random_count} measurement(s) with random outcomes; "
+                "Pauli-frame sampling needs a deterministic reference frame"
+            )
+        self.circuit = circuit
+        self.reference = reference
+        self.num_qubits = circuit.num_qubits
+        self.num_bits = circuit.num_bits
+        self._schedule = self._compile_schedule(circuit, reference)
+
+    # ------------------------------------------------------------------ #
+    def _compile_schedule(self, circuit: Circuit, reference: ReferenceRun) -> list[tuple]:
+        schedule: list[tuple] = []
+        measurement_index = 0
+        last_measured_bit: dict[int, int] = {}
+        for op in circuit.operations:
+            if isinstance(op, GateOperation):
+                if op.name not in self.SUPPORTED_GATES:
+                    raise ValueError(
+                        f"gate {op.name!r} is not Clifford-frame-propagatable; "
+                        f"supported: {self.SUPPORTED_GATES}"
+                    )
+                if op.name != "i":
+                    schedule.append(("gate", op.name, op.qubits))
+                if op.name in ("cnot", "cz"):
+                    schedule.append(("error2", op.qubits[0], op.qubits[1]))
+            elif isinstance(op, Measurement):
+                outcome = reference.outcomes[measurement_index]
+                schedule.append(("measure", op.qubit, op.bit, outcome))
+                last_measured_bit[op.qubit] = op.bit
+                measurement_index += 1
+            elif isinstance(op, ConditionalGate):
+                qubit = op.qubits[0]
+                if (
+                    op.gate.name == "x"
+                    and len(op.qubits) == 1
+                    and last_measured_bit.get(qubit) == op.condition_bit
+                ):
+                    # Canonical measure-then-c-x reset: the reference
+                    # executed it literally; the frame simply restarts.
+                    schedule.append(("reset", qubit))
+                else:
+                    raise ValueError(
+                        "conditional gates other than the measure-then-c-x reset "
+                        "idiom are not frame-propagatable (feedback would depend "
+                        "on noisy outcomes)"
+                    )
+            elif isinstance(op, Barrier):
+                continue
+            else:
+                raise ValueError(f"unsupported operation {op.name!r} in frame sampling")
+        return schedule
+
+    # ------------------------------------------------------------------ #
+    def sample(
+        self,
+        shots: int,
+        noise: FrameNoise,
+        rng: np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | None = None,
+    ) -> FrameSample:
+        """Propagate ``shots`` sampled Pauli frames through the schedule."""
+        if shots < 1:
+            raise ValueError("shots must be >= 1")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        n = self.num_qubits
+        fx = np.zeros((shots, n), dtype=np.uint8)
+        fz = np.zeros((shots, n), dtype=np.uint8)
+        bits = np.zeros((shots, self.num_bits), dtype=np.uint8)
+        p2 = noise.cnot_error_rate
+        pm = noise.measurement_error_rate
+        pr = noise.reset_error_rate
+        flips = DEPOLARIZING2_FLIPS
+        for entry in self._schedule:
+            kind = entry[0]
+            if kind == "gate":
+                _apply_frame_gate(fx, fz, entry[1], entry[2])
+            elif kind == "error2":
+                if p2 <= 0.0:
+                    continue
+                a, b = entry[1], entry[2]
+                draws = rng.random(shots)
+                hit = draws < p2
+                if hit.any():
+                    # Reuse the sub-p mass of the same draw to pick which of
+                    # the 15 non-identity Paulis lands: one draw per location.
+                    pauli = np.minimum((draws[hit] * (15.0 / p2)).astype(np.intp), 14)
+                    fx[hit, a] ^= flips[pauli, 0]
+                    fx[hit, b] ^= flips[pauli, 1]
+                    fz[hit, a] ^= flips[pauli, 2]
+                    fz[hit, b] ^= flips[pauli, 3]
+            elif kind == "measure":
+                qubit, bit, outcome = entry[1], entry[2], entry[3]
+                measured = fx[:, qubit] ^ outcome
+                if pm > 0.0:
+                    measured = measured ^ (rng.random(shots) < pm)
+                bits[:, bit] = measured
+                # The collapse pins the post-measurement state up to the X
+                # frame; any Z frame on the measured qubit is absorbed.
+                fz[:, qubit] = 0
+            elif kind == "reset":
+                qubit = entry[1]
+                if pr > 0.0:
+                    fx[:, qubit] = rng.random(shots) < pr
+                else:
+                    fx[:, qubit] = 0
+                fz[:, qubit] = 0
+        return FrameSample(bits=bits, final_x=fx, final_z=fz)
+
+
+def _apply_frame_gate(fx: np.ndarray, fz: np.ndarray, name: str, qubits: tuple[int, ...]) -> None:
+    """Conjugate the frame bit-planes by one Clifford gate (phases dropped).
+
+    Pauli gates commute with the frame up to phase, so ``x``/``y``/``z`` are
+    no-ops here (they still exist in the schedule so the tableau reference
+    and the frame walker read the same circuit).
+    """
+    if name == "cnot":
+        c, t = qubits
+        fx[:, t] ^= fx[:, c]
+        fz[:, c] ^= fz[:, t]
+    elif name == "h":
+        (q,) = qubits
+        fx[:, q], fz[:, q] = fz[:, q].copy(), fx[:, q].copy()
+    elif name in ("s", "sdag"):
+        (q,) = qubits
+        fz[:, q] ^= fx[:, q]
+    elif name == "cz":
+        a, b = qubits
+        fz[:, a] ^= fx[:, b]
+        fz[:, b] ^= fx[:, a]
+    elif name == "swap":
+        a, b = qubits
+        fx[:, a], fx[:, b] = fx[:, b].copy(), fx[:, a].copy()
+        fz[:, a], fz[:, b] = fz[:, b].copy(), fz[:, a].copy()
+    # x, y, z: frame unchanged.

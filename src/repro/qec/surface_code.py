@@ -31,7 +31,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.qec.decoder import MatchingDecoder
+from repro.core.circuit import Circuit
+from repro.qec.decoder import decoder_for
+from repro.qec.pauli_frame import FrameNoise, PauliFrameSampler
+
+#: Process-wide cache of compiled extraction-circuit samplers, keyed by
+#: (distance, rounds).  The reference tableau run and schedule compilation
+#: are pure functions of the geometry, so shards of a runtime sweep reuse
+#: them instead of re-simulating the noiseless circuit per shard.
+_SAMPLER_CACHE: dict[tuple[int, int], PauliFrameSampler] = {}
 
 
 @dataclass
@@ -45,6 +53,8 @@ class SurfaceCodeResult:
     measurement_error_rate: float
     logical_failures: int
     total_defects: int = 0
+    noise_model: str = "phenomenological"
+    decoder: str = "matching"
 
     @property
     def logical_error_rate(self) -> float:
@@ -163,6 +173,110 @@ class PlanarSurfaceCode:
         return errors
 
     # ------------------------------------------------------------------ #
+    # Syndrome-extraction circuit (circuit-level noise)
+    # ------------------------------------------------------------------ #
+    def extraction_circuit(self, rounds: int | None = None) -> Circuit:
+        """Build the multi-round syndrome-extraction circuit.
+
+        Data qubit ``r * d + c`` keeps its layout index; ancilla ``a`` is
+        qubit ``num_data + a``.  Each round measures every Z-plaquette: a
+        CNOT from each support data qubit onto the ancilla (in the
+        plaquette's tuple order), a measurement of the ancilla into bit
+        ``round * num_ancilla + a``, then the measure-then-``c-x`` reset
+        idiom re-preparing the ancilla in |0> for the next round.  With all
+        qubits starting in |0> every reference outcome is deterministically
+        0, which is what :class:`~repro.qec.pauli_frame.PauliFrameSampler`
+        requires.
+        """
+        rounds = rounds if rounds is not None else self.distance
+        if rounds < 1:
+            raise ValueError("extraction circuit needs at least one round")
+        circuit = Circuit(
+            self.num_physical_qubits,
+            name=f"esm_d{self.distance}_r{rounds}",
+            num_bits=rounds * self.num_ancilla,
+        )
+        for round_index in range(rounds):
+            for ancilla, plaquette in enumerate(self.plaquettes):
+                ancilla_qubit = self.num_data + ancilla
+                bit = round_index * self.num_ancilla + ancilla
+                for data_qubit in plaquette:
+                    circuit.cnot(data_qubit, ancilla_qubit)
+                circuit.measure(ancilla_qubit, bit)
+                circuit.conditional_gate("x", bit, ancilla_qubit)
+        return circuit
+
+    def _sampler(self, rounds: int) -> PauliFrameSampler:
+        key = (self.distance, rounds)
+        sampler = _SAMPLER_CACHE.get(key)
+        if sampler is None:
+            sampler = PauliFrameSampler(self.extraction_circuit(rounds))
+            _SAMPLER_CACHE[key] = sampler
+        return sampler
+
+    def run_circuit_memory_experiment(
+        self,
+        physical_error_rate: float,
+        rounds: int | None = None,
+        trials: int = 500,
+        measurement_error_rate: float | None = None,
+        seed: int | np.random.SeedSequence | None = None,
+        decoder: str = "union_find",
+    ) -> SurfaceCodeResult:
+        """Logical memory experiment under circuit-level noise.
+
+        The actual syndrome-extraction circuit runs through the Pauli-frame
+        sampler: every CNOT suffers two-qubit depolarizing noise at
+        ``physical_error_rate``, every ancilla measurement and reset flips
+        at ``measurement_error_rate`` (defaulting to the physical rate).
+        Defects are the round-to-round syndrome changes plus a final perfect
+        read-out closing open chains, exactly as in the phenomenological
+        :meth:`run_memory_experiment` — only the noise locations differ.
+
+        ``decoder`` selects the registry entry (default ``"union_find"``:
+        circuit-level volume is where blossom stops being tractable).
+        """
+        rounds = rounds if rounds is not None else self.distance
+        measurement_error_rate = (
+            measurement_error_rate if measurement_error_rate is not None else physical_error_rate
+        )
+        sampler = self._sampler(rounds)
+        noise = FrameNoise(
+            cnot_error_rate=physical_error_rate,
+            measurement_error_rate=measurement_error_rate,
+            reset_error_rate=measurement_error_rate,
+        )
+        sample = sampler.sample(trials, noise, seed=seed)
+        observed = sample.bits.reshape(trials, rounds, self.num_ancilla)
+        final_errors = sample.final_x[:, : self.num_data]
+        final_syndromes = self.syndrome_batch(final_errors)
+        syndromes = np.concatenate([observed, final_syndromes[:, np.newaxis, :]], axis=1)
+        changed = syndromes.copy()
+        changed[:, 1:, :] ^= syndromes[:, :-1, :]
+        row_start = self.reference_row * self.distance
+        true_parities = final_errors[:, row_start : row_start + self.distance].sum(axis=1) & 1
+        decode = decoder_for(self, decoder).decode
+        failures = 0
+        total_defects = 0
+        for trial in range(trials):
+            times, ancillas = np.nonzero(changed[trial])
+            defects = list(zip(times.tolist(), ancillas.tolist()))
+            total_defects += len(defects)
+            if decode(defects) != int(true_parities[trial]):
+                failures += 1
+        return SurfaceCodeResult(
+            distance=self.distance,
+            rounds=rounds,
+            trials=trials,
+            physical_error_rate=physical_error_rate,
+            measurement_error_rate=measurement_error_rate,
+            logical_failures=failures,
+            total_defects=total_defects,
+            noise_model="circuit",
+            decoder=decoder,
+        )
+
+    # ------------------------------------------------------------------ #
     # Memory experiment
     # ------------------------------------------------------------------ #
     def run_memory_experiment(
@@ -172,6 +286,7 @@ class PlanarSurfaceCode:
         trials: int = 500,
         measurement_error_rate: float | None = None,
         seed: int | np.random.SeedSequence | None = None,
+        decoder: str = "matching",
     ) -> SurfaceCodeResult:
         """Logical memory experiment: accumulate errors over ESM rounds.
 
@@ -192,7 +307,7 @@ class PlanarSurfaceCode:
         measurement_error_rate = (
             measurement_error_rate if measurement_error_rate is not None else physical_error_rate
         )
-        decoder = MatchingDecoder(self)
+        decode = decoder_for(self, decoder).decode
         failures = 0
         total_defects = 0
         for _ in range(trials):
@@ -219,7 +334,7 @@ class PlanarSurfaceCode:
             defects = list(zip(times.tolist(), ancillas.tolist()))
             total_defects += len(defects)
 
-            correction_parity = decoder.decode(defects)
+            correction_parity = decode(defects)
             if correction_parity != self.error_crossing_parity(final_errors):
                 failures += 1
         return SurfaceCodeResult(
@@ -230,6 +345,7 @@ class PlanarSurfaceCode:
             measurement_error_rate=measurement_error_rate,
             logical_failures=failures,
             total_defects=total_defects,
+            decoder=decoder,
         )
 
     def run_memory_experiment_reference(
@@ -239,6 +355,7 @@ class PlanarSurfaceCode:
         trials: int = 500,
         measurement_error_rate: float | None = None,
         seed: int | np.random.SeedSequence | None = None,
+        decoder: str = "matching",
     ) -> SurfaceCodeResult:
         """Per-round, per-plaquette loop implementation of the memory
         experiment — the pre-vectorization ground truth.
@@ -253,7 +370,7 @@ class PlanarSurfaceCode:
         measurement_error_rate = (
             measurement_error_rate if measurement_error_rate is not None else physical_error_rate
         )
-        decoder = MatchingDecoder(self)
+        decode = decoder_for(self, decoder).decode
         failures = 0
         total_defects = 0
         for _ in range(trials):
@@ -274,7 +391,7 @@ class PlanarSurfaceCode:
             defects.extend((rounds, int(a)) for a in np.nonzero(changed)[0])
             total_defects += len(defects)
 
-            correction_parity = decoder.decode(defects)
+            correction_parity = decode(defects)
             if correction_parity != self.error_crossing_parity(errors):
                 failures += 1
         return SurfaceCodeResult(
@@ -285,6 +402,7 @@ class PlanarSurfaceCode:
             measurement_error_rate=measurement_error_rate,
             logical_failures=failures,
             total_defects=total_defects,
+            decoder=decoder,
         )
 
     def logical_error_rate(
@@ -294,6 +412,7 @@ class PlanarSurfaceCode:
         rounds: int | None = None,
         measurement_error_rate: float | None = None,
         seed: int | None = None,
+        decoder: str = "matching",
     ) -> float:
         """Convenience wrapper returning only the logical error rate."""
         return self.run_memory_experiment(
@@ -302,4 +421,5 @@ class PlanarSurfaceCode:
             trials=trials,
             measurement_error_rate=measurement_error_rate,
             seed=seed,
+            decoder=decoder,
         ).logical_error_rate

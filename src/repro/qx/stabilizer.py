@@ -22,10 +22,12 @@ a repeated measurement into one bit keeps only the last outcome.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.core.circuit import Circuit
-from repro.core.operations import ConditionalGate, GateOperation, Measurement
+from repro.core.operations import Barrier, ConditionalGate, GateOperation, Measurement
 from repro.qx.keying import key_for_bit_values
 
 #: Gates the stabilizer engine accepts, mapped to their tableau update.
@@ -168,6 +170,59 @@ class StabilizerState:
         # 0.0 or 1.0, so the comparison never flips the result).
         return 1 if self.rng.random() < float(outcome) else 0
 
+    def measure_pinned(self, qubit: int, outcome: int = 0) -> tuple[int, bool]:
+        """Measure one qubit, pinning a random outcome instead of sampling it.
+
+        This is the reference-frame hook of the Pauli-frame sampler
+        (:mod:`repro.qec.pauli_frame`): the tableau runs the noiseless
+        syndrome-extraction circuit exactly once, and every measurement whose
+        outcome is not determined by the state collapses onto the pinned
+        ``outcome`` *without consuming a random draw* — the resulting outcome
+        sequence is the deterministic reference frame that sampled Pauli
+        errors are propagated against.  Returns ``(outcome, deterministic)``
+        where ``deterministic`` reports whether the state forced the result
+        (in which case the forced value is returned and ``outcome`` is
+        ignored).  The tableau collapses exactly as :meth:`measure` would for
+        the same result.
+        """
+        n = self.num_qubits
+        q = qubit
+        pivots = np.nonzero(self.x[n:, q])[0]
+        if not pivots.size:
+            return self._deterministic_outcome(q), True
+        p = int(pivots[0]) + n
+        rows = np.nonzero(self.x[:, q])[0]
+        rows = rows[rows != p]
+        if rows.size:
+            phases = (
+                2 * self.r[rows].astype(np.int16)
+                + 2 * int(self.r[p])
+                + _pauli_phase(self.x[p], self.z[p], self.x[rows], self.z[rows])
+            )
+            self.r[rows] = (phases % 4 == 2).astype(np.uint8)
+            self.x[rows] ^= self.x[p]
+            self.z[rows] ^= self.z[p]
+        self.x[p - n] = self.x[p]
+        self.z[p - n] = self.z[p]
+        self.r[p - n] = self.r[p]
+        self.x[p] = 0
+        self.z[p] = 0
+        self.z[p, q] = 1
+        outcome = 1 if outcome else 0
+        self.r[p] = outcome
+        return outcome, False
+
+    def reset(self, qubit: int) -> None:
+        """Reset one qubit to |0> (measure, flip on 1) without consuming rng.
+
+        Both collapse branches land in the same state, so no random draw is
+        needed: a random outcome is pinned to 0, a deterministic 1 is
+        corrected with an X.
+        """
+        outcome, _ = self.measure_pinned(qubit, 0)
+        if outcome:
+            self.apply_x(qubit)
+
     def _deterministic_outcome(self, qubit: int) -> int:
         """Sign of the stabilizer product fixing Z_qubit, without mutation.
 
@@ -247,6 +302,29 @@ _GATE_DISPATCH = {
 }
 
 
+@dataclass
+class ReferenceRun:
+    """Reference frame of one noiseless tableau execution of a circuit.
+
+    ``outcomes[i]`` is the result of the circuit's *i*-th measurement
+    operation (in program order) with every random outcome pinned to 0;
+    ``deterministic[i]`` records whether the state forced that outcome.
+    Pauli-frame sampling (:mod:`repro.qec.pauli_frame`) replays sampled
+    errors as deviations from this frame, so the expensive tableau
+    simulation happens once per circuit, not once per shot.
+    """
+
+    num_qubits: int
+    outcomes: list[int] = field(default_factory=list)
+    deterministic: list[bool] = field(default_factory=list)
+    #: Final classical-bit values (last write wins), as `_run_shot` reports.
+    bits: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def all_deterministic(self) -> bool:
+        return all(self.deterministic)
+
+
 class StabilizerSimulator:
     """Multi-shot Clifford circuit simulator on the tableau engine."""
 
@@ -283,6 +361,32 @@ class StabilizerSimulator:
                 if bits.get(op.condition_bit, 0):
                     state.apply_gate(op.gate.name, op.qubits)
         return bits
+
+    def reference_run(self, circuit: Circuit) -> ReferenceRun:
+        """Execute a Clifford circuit once with pinned measurement outcomes.
+
+        No randomness is consumed: measurements collapse via
+        :meth:`StabilizerState.measure_pinned` (random outcomes pinned to 0),
+        and conditional gates are evaluated against the pinned bits.  The
+        returned :class:`ReferenceRun` is the reference frame for
+        Pauli-frame sampling of circuit-level noise.
+        """
+        state = StabilizerState(circuit.num_qubits, rng=self.rng)
+        reference = ReferenceRun(num_qubits=circuit.num_qubits)
+        for op in circuit.operations:
+            if isinstance(op, GateOperation):
+                state.apply_gate(op.name, op.qubits)
+            elif isinstance(op, Measurement):
+                outcome, deterministic = state.measure_pinned(op.qubit, 0)
+                reference.outcomes.append(outcome)
+                reference.deterministic.append(deterministic)
+                reference.bits[op.bit] = outcome
+            elif isinstance(op, ConditionalGate):
+                if reference.bits.get(op.condition_bit, 0):
+                    state.apply_gate(op.gate.name, op.qubits)
+            elif isinstance(op, Barrier):
+                continue
+        return reference
 
     def final_state(self, circuit: Circuit) -> StabilizerState:
         """Tableau after running the gate portion of a circuit."""

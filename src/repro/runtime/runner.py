@@ -194,6 +194,8 @@ class ExperimentRunner:
                 rounds=qec.rounds,
                 physical_error_rate=qec.physical_error_rate,
                 measurement_error_rate=qec.measurement_error_rate,
+                noise_model=qec.noise_model,
+                decoder=qec.decoder,
             )
             for shard_index, size in enumerate(
                 shard_sizes(spec.shots, spec.max_shard_shots, spec.min_shards)

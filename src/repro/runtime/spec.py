@@ -198,6 +198,13 @@ class QecSpec:
     rounds: int | None = None
     physical_error_rate: float = 1e-3
     measurement_error_rate: float | None = None
+    #: ``"phenomenological"`` flips data/measurement bits i.i.d. per round;
+    #: ``"circuit"`` runs the real syndrome-extraction circuit through the
+    #: Pauli-frame sampler (depolarizing CNOTs, faulty measurements/resets).
+    noise_model: str = "phenomenological"
+    #: Decoder registry name; ``None`` keeps the per-noise-model default
+    #: ("matching" phenomenological, "union_find" circuit).
+    decoder: str | None = None
 
     def __post_init__(self) -> None:
         if self.distance < 3 or self.distance % 2 == 0:
@@ -209,6 +216,21 @@ class QecSpec:
             raise ValueError("measurement_error_rate outside [0, 1]")
         if self.rounds is not None and self.rounds < 1:
             raise ValueError("rounds must be >= 1")
+        if self.noise_model not in ("phenomenological", "circuit"):
+            raise ValueError(
+                f"noise_model must be 'phenomenological' or 'circuit', got {self.noise_model!r}"
+            )
+        if self.decoder is not None and self.decoder not in ("matching", "union_find"):
+            raise ValueError(
+                f"decoder must be 'matching' or 'union_find', got {self.decoder!r}"
+            )
+
+    @property
+    def effective_decoder(self) -> str:
+        """Decoder name after applying the per-noise-model default."""
+        if self.decoder is not None:
+            return self.decoder
+        return "union_find" if self.noise_model == "circuit" else "matching"
 
 
 @dataclass

@@ -77,6 +77,8 @@ class QecShardTask:
     rounds: int | None = None
     physical_error_rate: float = 1e-3
     measurement_error_rate: float | None = None
+    noise_model: str = "phenomenological"
+    decoder: str | None = None
 
 
 @dataclass(frozen=True)
@@ -178,13 +180,25 @@ def _run_qec_shard(task: QecShardTask) -> ShardResult:
     from repro.qec.surface_code import PlanarSurfaceCode
 
     code = PlanarSurfaceCode(task.distance)
-    result = code.run_memory_experiment(
-        task.physical_error_rate,
-        rounds=task.rounds,
-        trials=task.trials,
-        measurement_error_rate=task.measurement_error_rate,
-        seed=shard_seed(task.root_seed, task.point_index, task.shard_index),
-    )
+    seed = shard_seed(task.root_seed, task.point_index, task.shard_index)
+    if task.noise_model == "circuit":
+        result = code.run_circuit_memory_experiment(
+            task.physical_error_rate,
+            rounds=task.rounds,
+            trials=task.trials,
+            measurement_error_rate=task.measurement_error_rate,
+            seed=seed,
+            decoder=task.decoder or "union_find",
+        )
+    else:
+        result = code.run_memory_experiment(
+            task.physical_error_rate,
+            rounds=task.rounds,
+            trials=task.trials,
+            measurement_error_rate=task.measurement_error_rate,
+            seed=seed,
+            decoder=task.decoder or "matching",
+        )
     counts: dict[str, int] = {}
     successes = result.trials - result.logical_failures
     if successes:

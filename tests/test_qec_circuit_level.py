@@ -1,0 +1,439 @@
+"""Circuit-level noisy QEC: extraction circuit, Pauli-frame sampler,
+union-find decoder, and the runtime's ``noise_model="circuit"`` mode."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.operations import ConditionalGate, GateOperation, Measurement
+from repro.qec.decoder import MatchingDecoder, decoder_for
+from repro.qec.pauli_frame import DEPOLARIZING2_FLIPS, FrameNoise, PauliFrameSampler
+from repro.qec.surface_code import PlanarSurfaceCode
+from repro.qec.union_find import UnionFindDecoder
+from repro.qx.stabilizer import StabilizerSimulator
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------- #
+# Extraction circuit + reference run
+# ---------------------------------------------------------------------- #
+class TestExtractionCircuit:
+    def test_structure_counts(self):
+        code = PlanarSurfaceCode(3)
+        rounds = 2
+        circuit = code.extraction_circuit(rounds)
+        assert circuit.num_qubits == code.num_physical_qubits
+        assert circuit.num_bits == rounds * code.num_ancilla
+        measurements = [op for op in circuit.operations if isinstance(op, Measurement)]
+        assert len(measurements) == rounds * code.num_ancilla
+        cnots = [
+            op
+            for op in circuit.operations
+            if isinstance(op, GateOperation) and op.name == "cnot"
+        ]
+        assert len(cnots) == rounds * sum(len(p) for p in code.plaquettes)
+        resets = [op for op in circuit.operations if isinstance(op, ConditionalGate)]
+        assert len(resets) == rounds * code.num_ancilla
+        # Every reset is conditioned on the bit its ancilla just measured.
+        for measurement, reset in zip(measurements, resets):
+            assert reset.qubits == (measurement.qubit,)
+            assert reset.condition_bit == measurement.bit
+
+    def test_bits_are_round_major(self):
+        code = PlanarSurfaceCode(3)
+        circuit = code.extraction_circuit(2)
+        bits = [op.bit for op in circuit.operations if isinstance(op, Measurement)]
+        assert bits == list(range(2 * code.num_ancilla))
+
+    def test_rounds_validation(self):
+        with pytest.raises(ValueError):
+            PlanarSurfaceCode(3).extraction_circuit(0)
+
+    def test_reference_outcomes_deterministic_zero(self):
+        code = PlanarSurfaceCode(3)
+        reference = StabilizerSimulator(seed=0).reference_run(code.extraction_circuit(2))
+        assert reference.all_deterministic
+        assert reference.outcomes == [0] * (2 * code.num_ancilla)
+
+
+# ---------------------------------------------------------------------- #
+# Pauli-frame sampler
+# ---------------------------------------------------------------------- #
+class TestPauliFrameSampler:
+    def test_depolarizing_table_covers_all_nonidentity_paulis(self):
+        assert DEPOLARIZING2_FLIPS.shape == (15, 4)
+        rows = {tuple(row) for row in DEPOLARIZING2_FLIPS.tolist()}
+        assert len(rows) == 15
+        assert (0, 0, 0, 0) not in rows
+
+    def test_zero_noise_is_noiseless_reference(self):
+        code = PlanarSurfaceCode(3)
+        sampler = PauliFrameSampler(code.extraction_circuit(2))
+        sample = sampler.sample(20, FrameNoise(), seed=1)
+        assert not sample.bits.any()
+        assert not sample.final_x.any()
+        assert not sample.final_z.any()
+
+    def test_measurement_noise_only_leaves_data_clean(self):
+        code = PlanarSurfaceCode(3)
+        sampler = PauliFrameSampler(code.extraction_circuit(3))
+        sample = sampler.sample(
+            200, FrameNoise(measurement_error_rate=0.2), seed=2
+        )
+        assert sample.bits.any()  # read-out flips show up as syndrome bits
+        assert not sample.final_x[:, : code.num_data].any()  # data untouched
+
+    def test_seed_determinism_and_seed_sequence(self):
+        code = PlanarSurfaceCode(3)
+        sampler = PauliFrameSampler(code.extraction_circuit(2))
+        noise = FrameNoise(0.05, 0.02, 0.02)
+        a = sampler.sample(50, noise, seed=9)
+        b = sampler.sample(50, noise, seed=9)
+        c = sampler.sample(50, noise, seed=np.random.SeedSequence(9))
+        assert np.array_equal(a.bits, b.bits)
+        assert np.array_equal(a.final_x, b.final_x)
+        assert np.array_equal(a.bits, c.bits)
+
+    def test_rejects_random_reference_outcomes(self):
+        from repro.core.circuit import Circuit
+
+        circuit = Circuit(1).h(0).measure(0, 0)
+        with pytest.raises(ValueError, match="random outcomes"):
+            PauliFrameSampler(circuit)
+
+    def test_rejects_non_clifford_gates(self):
+        from repro.core.circuit import Circuit
+
+        circuit = Circuit(1).t(0).measure(0, 0)
+        with pytest.raises(ValueError, match="Clifford"):
+            PauliFrameSampler(circuit)
+
+    def test_rejects_general_feedback(self):
+        from repro.core.circuit import Circuit
+
+        # Conditional X on a *different* qubit than the one measured: real
+        # feedback, not the reset idiom.
+        circuit = Circuit(2).measure(0, 0).conditional_gate("x", 0, 1)
+        with pytest.raises(ValueError, match="reset"):
+            PauliFrameSampler(circuit)
+
+    def test_noise_rate_validation(self):
+        with pytest.raises(ValueError):
+            FrameNoise(cnot_error_rate=1.5)
+        with pytest.raises(ValueError):
+            FrameNoise(measurement_error_rate=-0.1)
+
+    def test_shots_validation(self):
+        code = PlanarSurfaceCode(3)
+        sampler = PauliFrameSampler(code.extraction_circuit(1))
+        with pytest.raises(ValueError):
+            sampler.sample(0, FrameNoise())
+
+
+# ---------------------------------------------------------------------- #
+# Circuit-level memory experiment
+# ---------------------------------------------------------------------- #
+class TestCircuitMemoryExperiment:
+    def test_zero_noise_no_failures_no_defects(self):
+        result = PlanarSurfaceCode(3).run_circuit_memory_experiment(0.0, trials=30, seed=1)
+        assert result.logical_failures == 0
+        assert result.total_defects == 0
+        assert result.noise_model == "circuit"
+        assert result.decoder == "union_find"
+
+    def test_measurement_noise_only_rarely_fails(self):
+        # Pure read-out/reset noise produces time-like defect pairs but no
+        # physical X errors on data qubits (the true parity is always 0),
+        # so decoder-reported failures must be rare — far below what the
+        # same rate of data noise would produce (~10% at d=3, p=0.05).
+        result = PlanarSurfaceCode(3).run_circuit_memory_experiment(
+            0.0, trials=150, measurement_error_rate=0.05, seed=3
+        )
+        assert result.total_defects > 0
+        assert result.logical_failures <= 3
+
+    def test_seed_determinism(self):
+        code = PlanarSurfaceCode(3)
+        a = code.run_circuit_memory_experiment(0.01, trials=100, seed=4)
+        b = code.run_circuit_memory_experiment(0.01, trials=100, seed=4)
+        assert a.logical_failures == b.logical_failures
+        assert a.total_defects == b.total_defects
+
+    def test_error_rate_grows_with_p(self):
+        code = PlanarSurfaceCode(3)
+        low = code.run_circuit_memory_experiment(0.002, trials=800, seed=5)
+        high = code.run_circuit_memory_experiment(0.03, trials=800, seed=5)
+        assert high.logical_error_rate > low.logical_error_rate
+
+    def test_distance_helps_below_threshold(self):
+        p = 0.004
+        rate3 = PlanarSurfaceCode(3).run_circuit_memory_experiment(
+            p, trials=2000, seed=11
+        )
+        rate7 = PlanarSurfaceCode(7).run_circuit_memory_experiment(
+            p, trials=2000, seed=11
+        )
+        assert rate7.logical_error_rate < rate3.logical_error_rate
+
+    def test_blossom_cross_check_agrees_at_small_scale(self):
+        # Union-find approximates minimum-weight matching: on guaranteed-
+        # correctable syndromes they agree exactly (the hypothesis test
+        # below); on a full noisy batch the failure counts must stay within
+        # a small tolerance of each other.
+        code = PlanarSurfaceCode(3)
+        uf = code.run_circuit_memory_experiment(0.01, trials=300, seed=6, decoder="union_find")
+        mw = code.run_circuit_memory_experiment(0.01, trials=300, seed=6, decoder="matching")
+        assert uf.total_defects == mw.total_defects  # same sampled noise
+        assert abs(uf.logical_failures - mw.logical_failures) <= 3
+
+
+# ---------------------------------------------------------------------- #
+# Union-find decoder vs blossom
+# ---------------------------------------------------------------------- #
+def _defects_from_faults(code, rounds, data_faults, measurement_faults):
+    """Build the space-time defect set the phenomenological model would see
+    for explicit fault locations, plus the true logical parity."""
+    errors = np.zeros(code.num_data, dtype=np.int8)
+    previous = np.zeros(code.num_ancilla, dtype=np.int8)
+    defects = []
+    for round_index in range(rounds):
+        for fault_round, qubit in data_faults:
+            if fault_round == round_index:
+                errors[qubit] ^= 1
+        observed = code.syndrome(errors).copy()
+        for fault_round, ancilla in measurement_faults:
+            if fault_round == round_index:
+                observed[ancilla] ^= 1
+        changed = observed ^ previous
+        defects.extend((round_index, int(a)) for a in np.nonzero(changed)[0])
+        previous = observed
+    changed = code.syndrome(errors) ^ previous
+    defects.extend((rounds, int(a)) for a in np.nonzero(changed)[0])
+    return defects, code.error_crossing_parity(errors)
+
+
+class TestUnionFindDecoder:
+    def test_empty_defects(self):
+        assert UnionFindDecoder(PlanarSurfaceCode(3)).decode([]) == 0
+
+    def test_time_pair_is_trivial(self):
+        # A lone measurement error: two time-separated defects on one
+        # ancilla, no logical flip.
+        code = PlanarSurfaceCode(5)
+        decoder = UnionFindDecoder(code)
+        for ancilla in range(code.num_ancilla):
+            assert decoder.decode([(0, ancilla), (1, ancilla)]) == 0
+
+    def test_single_defects_match_blossom(self):
+        for distance in (3, 5, 7):
+            code = PlanarSurfaceCode(distance)
+            union_find = UnionFindDecoder(code)
+            blossom = MatchingDecoder(code)
+            for ancilla in range(code.num_ancilla):
+                for round_index in (0, 2):
+                    defects = [(round_index, ancilla)]
+                    assert union_find.decode(defects) == blossom.decode(defects)
+
+    def test_single_data_errors_corrected(self):
+        for distance in (3, 5):
+            code = PlanarSurfaceCode(distance)
+            decoder = UnionFindDecoder(code)
+            for qubit in range(code.num_data):
+                errors = np.zeros(code.num_data, dtype=np.int8)
+                errors[qubit] = 1
+                defects = [(0, int(a)) for a in np.nonzero(code.syndrome(errors))[0]]
+                assert decoder.decode(defects) == code.error_crossing_parity(errors)
+
+    def test_input_validation(self):
+        decoder = UnionFindDecoder(PlanarSurfaceCode(3))
+        with pytest.raises(ValueError, match="out of range"):
+            decoder.decode([(0, 99)])
+        with pytest.raises(ValueError, match="round"):
+            decoder.decode([(-1, 0)])
+        with pytest.raises(ValueError, match="time_weight"):
+            UnionFindDecoder(PlanarSurfaceCode(3), time_weight=0.0)
+
+    def test_duplicate_defects_annihilate(self):
+        code = PlanarSurfaceCode(3)
+        union_find = UnionFindDecoder(code)
+        blossom = MatchingDecoder(code)
+        defects = [(0, 0), (0, 0)]
+        assert union_find.decode(defects) == blossom.decode(defects) == 0
+
+    @SETTINGS
+    @given(
+        distance=st.sampled_from([3, 5]),
+        seed=st.integers(0, 10_000),
+    )
+    def test_agreement_on_correctable_syndromes(self, distance, seed):
+        """Both decoders correct any fault set of weight <= (d-1)/2, so on
+        random correctable syndromes they must agree (with the truth and
+        with each other) — the blossom cross-check property."""
+        code = PlanarSurfaceCode(distance)
+        rounds = 3
+        rng = np.random.default_rng(seed)
+        budget = (distance - 1) // 2
+        num_data_faults = int(rng.integers(0, budget + 1))
+        num_measurement_faults = int(budget - num_data_faults)
+        data_faults = [
+            (int(rng.integers(0, rounds)), int(rng.integers(0, code.num_data)))
+            for _ in range(num_data_faults)
+        ]
+        measurement_faults = [
+            (int(rng.integers(0, rounds)), int(rng.integers(0, code.num_ancilla)))
+            for _ in range(num_measurement_faults)
+        ]
+        defects, true_parity = _defects_from_faults(
+            code, rounds, data_faults, measurement_faults
+        )
+        union_find = UnionFindDecoder(code).decode(defects)
+        blossom = MatchingDecoder(code).decode(defects)
+        assert union_find == blossom == true_parity
+
+
+# ---------------------------------------------------------------------- #
+# Degenerate decoder inputs, both decoders x both noise models
+# ---------------------------------------------------------------------- #
+class TestDegenerateDecoderInputs:
+    @pytest.mark.parametrize("name", ["matching", "union_find"])
+    def test_empty_syndrome(self, name):
+        code = PlanarSurfaceCode(3)
+        assert decoder_for(code, name).decode([]) == 0
+
+    @pytest.mark.parametrize("name", ["matching", "union_find"])
+    @pytest.mark.parametrize("noise_model", ["phenomenological", "circuit"])
+    def test_zero_noise_both_models(self, name, noise_model):
+        code = PlanarSurfaceCode(3)
+        if noise_model == "circuit":
+            result = code.run_circuit_memory_experiment(0.0, trials=20, seed=1, decoder=name)
+        else:
+            result = code.run_memory_experiment(0.0, trials=20, seed=1, decoder=name)
+        assert result.logical_failures == 0
+        assert result.total_defects == 0
+        assert result.decoder == name
+
+    @pytest.mark.parametrize("name", ["matching", "union_find"])
+    def test_single_defect_on_boundary_plaquette(self, name):
+        # Weight-2 plaquettes sit on the left/right boundaries; a lone
+        # defect there must pair with its nearest open boundary, not raise.
+        for distance in (3, 5):
+            code = PlanarSurfaceCode(distance)
+            decoder = decoder_for(code, name)
+            for ancilla, plaquette in enumerate(code.plaquettes):
+                if len(plaquette) != 2:
+                    continue
+                parity = decoder.decode([(0, ancilla)])
+                assert parity in (0, 1)
+                assert parity == MatchingDecoder(code).decode([(0, ancilla)])
+
+    @pytest.mark.parametrize("name", ["matching", "union_find"])
+    def test_all_defects(self, name):
+        # Every detector fires in every round: decoding must terminate and
+        # return a bit, deterministically.
+        code = PlanarSurfaceCode(3)
+        rounds = 2
+        defects = [
+            (t, a) for t in range(rounds + 1) for a in range(code.num_ancilla)
+        ]
+        decoder = decoder_for(code, name)
+        first = decoder.decode(list(defects))
+        second = decoder.decode(list(defects))
+        assert first in (0, 1)
+        assert first == second
+
+    @pytest.mark.parametrize("name", ["matching", "union_find"])
+    def test_odd_defect_counts_absorbed_by_boundary(self, name):
+        # Odd-parity defect sets are valid on a planar code (chains may end
+        # on the open boundaries) — the guard is that decoding completes.
+        code = PlanarSurfaceCode(5)
+        decoder = decoder_for(code, name)
+        assert decoder.decode([(0, 0)]) in (0, 1)
+        assert decoder.decode([(0, 0), (0, 1), (1, 2)]) in (0, 1)
+
+    def test_unknown_decoder_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown decoder"):
+            decoder_for(PlanarSurfaceCode(3), "bogus")
+
+
+# ---------------------------------------------------------------------- #
+# Runtime plumbing
+# ---------------------------------------------------------------------- #
+class TestRuntimeCircuitMode:
+    def test_spec_validation(self):
+        from repro.runtime.spec import QecSpec
+
+        with pytest.raises(ValueError, match="noise_model"):
+            QecSpec(noise_model="wrong")
+        with pytest.raises(ValueError, match="decoder"):
+            QecSpec(decoder="wrong")
+        assert QecSpec().effective_decoder == "matching"
+        assert QecSpec(noise_model="circuit").effective_decoder == "union_find"
+        assert QecSpec(noise_model="circuit", decoder="matching").effective_decoder == "matching"
+
+    def test_circuit_sweep_bit_identical_across_workers(self):
+        from repro.runtime import ExperimentRunner, ExperimentSpec, QecSpec
+
+        spec = ExperimentSpec(
+            name="qec-circuit",
+            kind="qec",
+            qec=QecSpec(distance=3, noise_model="circuit"),
+            shots=400,
+            seed=77,
+            sweep={"qec.physical_error_rate": [0.004, 0.02]},
+        )
+        serial = ExperimentRunner(spec, workers=1, use_cache=False).run()
+        parallel = ExperimentRunner(spec, workers=3, use_cache=False).run()
+        assert [p.counts for p in serial.points] == [p.counts for p in parallel.points]
+        assert [p.errors_injected for p in serial.points] == [
+            p.errors_injected for p in parallel.points
+        ]
+        # More physical noise, more (or equal) logical failures.
+        assert serial.points[0].probability("1") <= serial.points[1].probability("1")
+
+    def test_circuit_mode_matches_direct_shard_calls(self):
+        """The runtime's merged histogram is exactly the shard-wise sum of
+        direct run_circuit_memory_experiment calls under the seeding contract."""
+        from repro.runtime import ExperimentRunner, ExperimentSpec, QecSpec
+        from repro.runtime.seeding import shard_seed, shard_sizes
+
+        spec = ExperimentSpec(
+            name="qec-contract",
+            kind="qec",
+            qec=QecSpec(distance=3, noise_model="circuit", physical_error_rate=0.01),
+            shots=300,
+            seed=13,
+        )
+        result = ExperimentRunner(spec, workers=1, use_cache=False).run()
+        code = PlanarSurfaceCode(3)
+        failures = 0
+        for shard_index, size in enumerate(shard_sizes(300, spec.max_shard_shots, spec.min_shards)):
+            failures += code.run_circuit_memory_experiment(
+                0.01,
+                trials=size,
+                seed=shard_seed(13, 0, shard_index),
+            ).logical_failures
+        assert result.points[0].counts.get("1", 0) == failures
+
+    def test_sweep_over_noise_model(self):
+        from repro.runtime import ExperimentRunner, ExperimentSpec, QecSpec
+
+        spec = ExperimentSpec(
+            name="qec-models",
+            kind="qec",
+            qec=QecSpec(distance=3, physical_error_rate=0.01),
+            shots=120,
+            seed=3,
+            sweep={"qec.noise_model": ["phenomenological", "circuit"]},
+        )
+        result = ExperimentRunner(spec, workers=1, use_cache=False).run()
+        assert [p.params["qec.noise_model"] for p in result.points] == [
+            "phenomenological",
+            "circuit",
+        ]
+        assert all(p.shots == 120 for p in result.points)
