@@ -12,9 +12,11 @@ wall time of every executed benchmark test, plus interpreter metadata.  CI
 uploads the file as an artifact so the perf trajectory of the smoke set
 can be diffed across PRs (see docs/performance.md).  The batch-throughput
 benchmark additionally writes its measured speedup to ``BENCH_batch.json``
-next to the smoke artifact (the test honours ``BENCH_BATCH_OUTPUT``), and
-the qec-threshold benchmark writes the circuit-level
-logical-error-rate-vs-p curve to ``BENCH_qec.json`` (``BENCH_QEC_OUTPUT``).
+next to the smoke artifact (the test honours ``BENCH_BATCH_OUTPUT``), the
+qec-threshold benchmark writes the circuit-level
+logical-error-rate-vs-p curve to ``BENCH_qec.json`` (``BENCH_QEC_OUTPUT``),
+and the density benchmarks write the channel-fusion speedup and QEC
+cross-check to ``BENCH_density.json`` (``BENCH_DENSITY_OUTPUT``).
 
 Usage: ``python scripts/bench_smoke.py [--output PATH] [extra pytest args]``
 """
@@ -90,6 +92,8 @@ def main() -> int:
     os.environ.setdefault("BENCH_BATCH_OUTPUT", batch_output)
     qec_output = os.path.join(os.path.dirname(output_path), "BENCH_qec.json")
     os.environ.setdefault("BENCH_QEC_OUTPUT", qec_output)
+    density_output = os.path.join(os.path.dirname(output_path), "BENCH_density.json")
+    os.environ.setdefault("BENCH_DENSITY_OUTPUT", density_output)
 
     recorder = TimingRecorder()
     os.chdir(REPO_ROOT)
@@ -116,6 +120,16 @@ def main() -> int:
         with open(qec_path) as handle:
             points = json.load(handle).get("points", [])
         print(f"qec threshold curve: {len(points)} points -> {qec_path}")
+    density_path = os.environ["BENCH_DENSITY_OUTPUT"]
+    if os.path.exists(density_path):
+        with open(density_path) as handle:
+            payload = json.load(handle)
+        fusion = payload.get("fusion", {}).get("speedup")
+        deviation = payload.get("qec_cross_check", {}).get("deviation_sigma")
+        print(
+            f"density fusion: {fusion}x, qec cross-check {deviation} sigma "
+            f"-> {density_path}"
+        )
     return int(exit_code)
 
 

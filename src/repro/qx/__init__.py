@@ -20,8 +20,17 @@ from repro.qx.error_models import (
     CompositeError,
     error_model_for,
 )
+from repro.qx.channels import (
+    Channel,
+    ChannelProgram,
+    PauliBasis,
+    compile_channels,
+    compile_circuit,
+    default_basis,
+    ptm_of_unitary,
+)
 from repro.qx.simulator import QXSimulator, SimulationResult
-from repro.qx.density import DensityMatrixSimulator
+from repro.qx.density import DENSITY_MAX_QUBITS, DensityMatrixSimulator, gpu_available
 from repro.qx.stabilizer import StabilizerSimulator, StabilizerState
 from repro.qx.mps import MPSSimulator, MPSState
 from repro.qx.backends import (
@@ -50,9 +59,18 @@ __all__ = [
     "CrosstalkError",
     "CompositeError",
     "error_model_for",
+    "Channel",
+    "ChannelProgram",
+    "PauliBasis",
+    "compile_channels",
+    "compile_circuit",
+    "default_basis",
+    "ptm_of_unitary",
     "QXSimulator",
     "SimulationResult",
+    "DENSITY_MAX_QUBITS",
     "DensityMatrixSimulator",
+    "gpu_available",
     "StabilizerSimulator",
     "StabilizerState",
     "MPSSimulator",

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.qx.density import DENSITY_MAX_QUBITS, gpu_available
 from repro.qx.mps import DENSE_MATERIALISE_LIMIT
 from repro.qx.stabilizer import StabilizerSimulator
 
@@ -55,7 +56,7 @@ class BackendCapabilities:
     clifford_only: bool = False
     #: Which error treatments the engine supports: "none" (perfect qubits
     #: only), "trajectory" (stochastic per-shot injection), "channel"
-    #: (exact ensemble channels — depolarising only today).
+    #: (exact compiled PTM channels plus classical read-out confusion).
     noise: str = "none"
     #: Mid-circuit measurement + classically conditioned gates.
     conditionals: bool = True
@@ -93,8 +94,11 @@ BACKENDS: dict[str, BackendCapabilities] = {
     ),
     "density": BackendCapabilities(
         name="density",
-        description="exact 4**n density matrix, depolarising channel",
-        max_qubits=10,
+        description=(
+            "compiled PTM channel program over 4**n Pauli coefficients "
+            + ("(numpy + cupy GPU)" if gpu_available() else "(numpy; cupy not installed)")
+        ),
+        max_qubits=DENSITY_MAX_QUBITS,
         noise="channel",
         conditionals=False,
     ),
@@ -148,7 +152,8 @@ class CircuitProfile:
     num_measurements: int = 0
     needs_trajectories: bool = False
     is_clifford: bool = False
-    #: "none" | "depolarizing" | "trajectory" — how errors are modelled.
+    #: "none" | "channel" | "trajectory" — how errors are modelled
+    #: (see :func:`repro.qx.error_models.noise_kind`).
     noise: str = "none"
     max_gate_qubits: int = 1
     has_initial_state: bool = False
@@ -357,7 +362,14 @@ class DispatchPolicy:
     stabilizer_sampled_min_qubits: int = 26
     #: Hard memory wall of the dense engine (2**26 amplitudes = 1 GiB).
     statevector_max_qubits: int = 26
-    density_max_qubits: int = 10
+    #: Mirrors the engine's own cap (one shared constant, like the MPS
+    #: dense-materialisation limit) so feasibility and execution agree.
+    density_max_qubits: int = DENSITY_MAX_QUBITS
+    #: Opt-in: route channel-exact noisy circuits to the density engine when
+    #: it is feasible, trading per-shot trajectories for one deterministic
+    #: channel evolution.  Off by default so auto-dispatch never changes the
+    #: seeded per-shot results of existing trajectory runs.
+    prefer_exact_channels: bool = False
     #: Bond cap handed to auto-dispatched MPS runs (None = unbounded/exact).
     mps_max_bond: int | None = None
     mps_truncation_threshold: float = 1e-12
@@ -383,7 +395,10 @@ class DispatchPolicy:
         if not profile.noise_free and caps.noise == "none":
             return f"{name} does not support error models"
         if profile.noise == "trajectory" and caps.noise == "channel":
-            return f"{name} supports only the exact depolarising channel, not trajectory noise"
+            return (
+                f"{name} runs exact compiled channels only; the error model has "
+                "no channel representation (trajectory-only noise)"
+            )
         if profile.needs_trajectories and not caps.conditionals:
             return f"{name} cannot run mid-circuit measurement or conditional feedback"
         if profile.has_initial_state and not caps.initial_state:
@@ -443,7 +458,11 @@ class DispatchPolicy:
             ) * self.tableau_row_cost
             return shots * max(per_shot, 1.0)
         if name == "density":
-            return max(profile.gate_count, 1) * float(4**n) * 16.0
+            # Compiled channel program: one fused superoperator per position
+            # over 4**n real Pauli coefficients, flat in shots (sampling from
+            # the final distribution is cheap next to the evolution).
+            evolution = max(profile.gate_count, 1) * float(4**n) * 4.0
+            return evolution + shots
         if name == "mps":
             cap = self.mps_exponent_cap
             exponent = min(profile.entanglement_exponent(), cap)
@@ -482,6 +501,16 @@ class DispatchPolicy:
             profile.keep_final_state and profile.num_qubits > self.statevector_max_qubits
         ):
             return self.validate("statevector", profile)
+        # Opt-in exact-channel arbitration: when the error model compiles to
+        # channels and the density engine fits, shots are free there — one
+        # deterministic evolution replaces per-shot trajectories.
+        if (
+            self.prefer_exact_channels
+            and profile.noise == "channel"
+            and profile.num_qubits <= self.density_max_qubits
+            and self.unsupported_reason("density", profile) is None
+        ):
+            return "density"
         clifford_eligible = (
             profile.noise_free
             and profile.is_clifford

@@ -7,9 +7,22 @@ error, drawn from a uniform distribution of the different errors that can
 follow: Pauli X, Y or Z"); richer models add T1/T2 decoherence proportional
 to the elapsed time and classical measurement read-out errors.
 
-All error models operate on a :class:`~repro.qx.statevector.StateVector` by
-stochastically injecting Pauli operations (quantum trajectory method), so a
-single simulation run corresponds to one physical shot.
+Every model has *one* definition of its physics and two execution views of
+it:
+
+* the **trajectory view** (:meth:`ErrorModel.apply_after_gate` /
+  :meth:`ErrorModel.flip_measurement`) stochastically injects Pauli
+  operations into a :class:`~repro.qx.statevector.StateVector`, one
+  physical shot per run, drawing exactly once per error location from the
+  seeded stream (the bit-identity contract the regression tests pin);
+* the **channel view** (:meth:`ErrorModel.noise_channels` /
+  :meth:`ErrorModel.confusion`) returns the exact
+  :class:`~repro.qx.channels.Channel` the trajectory process averages to,
+  which the density engine executes deterministically.
+
+Both views read the same model parameters through the same helper methods
+(``rate_for``, ``decay_probabilities``, ``pauli_probabilities``,
+``spectators_for``), so they can never drift apart.
 """
 
 from __future__ import annotations
@@ -19,11 +32,20 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.qubits import PERFECT, QubitModel
+from repro.qx.channels import Channel
 from repro.qx.statevector import StateVector
+
+#: The channel view's return type: ``(qubits, channel)`` placements.
+ChannelPlacements = "list[tuple[tuple[int, ...], Channel]]"
 
 
 class ErrorModel:
-    """Interface for stochastic error injection."""
+    """Interface for stochastic error injection and its exact channel."""
+
+    #: True when the model is exactly representable as quantum channels
+    #: (PTMs) plus a classical read-out confusion matrix — the condition
+    #: for running on the density engine instead of trajectories.
+    channel_exact: bool = False
 
     def apply_after_gate(
         self,
@@ -39,12 +61,35 @@ class ErrorModel:
         """Possibly flip a classical measurement outcome."""
         return outcome
 
+    def noise_channels(
+        self, qubits: tuple[int, ...], duration_ns: float
+    ):
+        """The exact channels this model attaches after a gate on ``qubits``.
+
+        A list of ``(qubit_tuple, Channel)`` placements, or ``None`` when
+        the model has no exact channel representation (trajectory only).
+        """
+        return None
+
+    def confusion(self) -> np.ndarray | None:
+        """The classical read-out confusion matrix, or ``None`` if perfect.
+
+        Row-stochastic: ``confusion[a, b]`` is the probability of
+        *reporting* ``b`` when the true outcome is ``a``.
+        """
+        return None
+
     def describe(self) -> str:
         return self.__class__.__name__
 
 
 class NoError(ErrorModel):
     """Perfect qubits: no errors at all."""
+
+    channel_exact = True
+
+    def noise_channels(self, qubits, duration_ns):
+        return []
 
 
 @dataclass
@@ -58,6 +103,8 @@ class DepolarizingError(ErrorModel):
 
     error_rate: float
     two_qubit_error_rate: float | None = None
+
+    channel_exact = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.error_rate <= 1.0:
@@ -83,8 +130,12 @@ class DepolarizingError(ErrorModel):
                 injected += 1
         return injected
 
+    def noise_channels(self, qubits, duration_ns):
+        channel = Channel.depolarizing(self.rate_for(qubits))
+        return [((qubit,), channel) for qubit in qubits]
+
     def describe(self) -> str:
-        return f"depolarizing(p={self.error_rate:g})"
+        return f"depolarizing(p={self.error_rate:g}) [channel]"
 
 
 @dataclass
@@ -94,15 +145,32 @@ class DecoherenceError(ErrorModel):
     Amplitude damping is approximated in the trajectory picture by a
     probabilistic reset-to-ground of the qubit (projective collapse to
     ``|0>`` with the damping probability); dephasing by a probabilistic Z.
+    The exact channel (:meth:`noise_channels`) is the ensemble average of
+    that same branch structure — see :meth:`Channel.decoherence`.
     """
 
     t1_ns: float
     t2_ns: float
 
+    channel_exact = True
+
+    def decay_probabilities(self, duration_ns: float) -> tuple[float, float]:
+        """``(p_decay, p_dephase)`` for a gate of the given duration.
+
+        The single definition of the T1/T2 branch probabilities, shared by
+        the trajectory draws and the exact channel construction.
+        """
+        p_decay = 0.0 if np.isinf(self.t1_ns) else 1.0 - np.exp(-duration_ns / self.t1_ns)
+        inv_tphi = 0.0
+        if not np.isinf(self.t2_ns):
+            inv_tphi = max(1.0 / self.t2_ns - 0.5 / max(self.t1_ns, 1e-30), 0.0)
+        p_dephase = 1.0 - np.exp(-duration_ns * inv_tphi) if inv_tphi > 0 else 0.0
+        return float(p_decay), float(p_dephase)
+
     def apply_after_gate(self, state, qubits, duration_ns, rng) -> int:
         injected = 0
         for qubit in qubits:
-            p_decay = 0.0 if np.isinf(self.t1_ns) else 1.0 - np.exp(-duration_ns / self.t1_ns)
+            p_decay, p_dephase = self.decay_probabilities(duration_ns)
             if rng.random() < p_decay:
                 # Trajectory approximation of amplitude damping: collapse to
                 # the measured value and reset to |0> if it was |1>.
@@ -111,17 +179,18 @@ class DecoherenceError(ErrorModel):
                     state.apply_pauli("x", qubit)
                 injected += 1
                 continue
-            inv_tphi = 0.0
-            if not np.isinf(self.t2_ns):
-                inv_tphi = max(1.0 / self.t2_ns - 0.5 / max(self.t1_ns, 1e-30), 0.0)
-            p_dephase = 1.0 - np.exp(-duration_ns * inv_tphi) if inv_tphi > 0 else 0.0
             if rng.random() < p_dephase:
                 state.apply_pauli("z", qubit)
                 injected += 1
         return injected
 
+    def noise_channels(self, qubits, duration_ns):
+        p_decay, p_dephase = self.decay_probabilities(duration_ns)
+        channel = Channel.decoherence(p_decay, p_dephase)
+        return [((qubit,), channel) for qubit in qubits]
+
     def describe(self) -> str:
-        return f"decoherence(T1={self.t1_ns:g}ns, T2={self.t2_ns:g}ns)"
+        return f"decoherence(T1={self.t1_ns:g}ns, T2={self.t2_ns:g}ns) [channel]"
 
 
 @dataclass
@@ -129,6 +198,8 @@ class MeasurementError(ErrorModel):
     """Classical read-out error: flip the reported bit with a fixed probability."""
 
     flip_probability: float
+
+    channel_exact = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.flip_probability <= 1.0:
@@ -139,8 +210,15 @@ class MeasurementError(ErrorModel):
             return 1 - outcome
         return outcome
 
+    def noise_channels(self, qubits, duration_ns):
+        return []
+
+    def confusion(self) -> np.ndarray:
+        p = self.flip_probability
+        return np.array([[1.0 - p, p], [p, 1.0 - p]])
+
     def describe(self) -> str:
-        return f"measurement(p={self.flip_probability:g})"
+        return f"measurement(p={self.flip_probability:g}) [channel]"
 
 
 @dataclass
@@ -157,6 +235,8 @@ class AsymmetricPauliError(ErrorModel):
     p_y: float
     p_z: float
 
+    channel_exact = True
+
     def __post_init__(self) -> None:
         for rate in (self.p_x, self.p_y, self.p_z):
             if not 0.0 <= rate <= 1.0:
@@ -164,20 +244,29 @@ class AsymmetricPauliError(ErrorModel):
         if self.p_x + self.p_y + self.p_z > 1.0:
             raise ValueError("total Pauli error probability exceeds 1")
 
+    def pauli_probabilities(self) -> tuple[float, float, float]:
+        """``(p_x, p_y, p_z)`` — shared by the draws and the channel."""
+        return self.p_x, self.p_y, self.p_z
+
     def apply_after_gate(self, state, qubits, duration_ns, rng) -> int:
+        p_x, p_y, p_z = self.pauli_probabilities()
         injected = 0
         for qubit in qubits:
             draw = rng.random()
-            if draw < self.p_x:
+            if draw < p_x:
                 state.apply_pauli("x", qubit)
                 injected += 1
-            elif draw < self.p_x + self.p_y:
+            elif draw < p_x + p_y:
                 state.apply_pauli("y", qubit)
                 injected += 1
-            elif draw < self.p_x + self.p_y + self.p_z:
+            elif draw < p_x + p_y + p_z:
                 state.apply_pauli("z", qubit)
                 injected += 1
         return injected
+
+    def noise_channels(self, qubits, duration_ns):
+        channel = Channel.pauli(*self.pauli_probabilities())
+        return [((qubit,), channel) for qubit in qubits]
 
     @property
     def bias(self) -> float:
@@ -188,7 +277,10 @@ class AsymmetricPauliError(ErrorModel):
         return self.p_z / transverse
 
     def describe(self) -> str:
-        return f"asymmetric_pauli(px={self.p_x:g}, py={self.p_y:g}, pz={self.p_z:g})"
+        return (
+            f"asymmetric_pauli(px={self.p_x:g}, py={self.p_y:g}, pz={self.p_z:g})"
+            " [channel]"
+        )
 
 
 @dataclass
@@ -206,6 +298,8 @@ class CrosstalkError(ErrorModel):
     spectator_error_rate: float
     neighbours: dict[int, tuple[int, ...]] = field(default_factory=dict)
 
+    channel_exact = True
+
     def __post_init__(self) -> None:
         if not 0.0 <= self.spectator_error_rate <= 1.0:
             raise ValueError("spectator_error_rate outside [0, 1]")
@@ -218,22 +312,38 @@ class CrosstalkError(ErrorModel):
         }
         return cls(spectator_error_rate=spectator_error_rate, neighbours=neighbours)
 
-    def apply_after_gate(self, state, qubits, duration_ns, rng) -> int:
+    def spectators_for(self, qubits: tuple[int, ...]) -> set[int]:
+        """Spectator qubits disturbed by a gate on ``qubits``.
+
+        The single definition of the neighbour geometry, shared by the
+        trajectory draws and the exact channel placements.  Empty for
+        single-qubit gates or a zero rate.
+        """
         if len(qubits) < 2 or self.spectator_error_rate == 0.0:
-            return 0
+            return set()
         spectators: set[int] = set()
         for qubit in qubits:
             spectators.update(self.neighbours.get(qubit, ()))
         spectators -= set(qubits)
+        return spectators
+
+    def apply_after_gate(self, state, qubits, duration_ns, rng) -> int:
         injected = 0
-        for spectator in spectators:
+        for spectator in self.spectators_for(qubits):
             if spectator < state.num_qubits and rng.random() < self.spectator_error_rate:
                 state.apply_pauli("z", spectator)
                 injected += 1
         return injected
 
+    def noise_channels(self, qubits, duration_ns):
+        spectators = self.spectators_for(qubits)
+        if not spectators:
+            return []
+        channel = Channel.phase_flip(self.spectator_error_rate)
+        return [((spectator,), channel) for spectator in sorted(spectators)]
+
     def describe(self) -> str:
-        return f"crosstalk(p={self.spectator_error_rate:g})"
+        return f"crosstalk(p={self.spectator_error_rate:g}) [channel]"
 
 
 class CompositeError(ErrorModel):
@@ -241,6 +351,10 @@ class CompositeError(ErrorModel):
 
     def __init__(self, *models: ErrorModel):
         self.models = [m for m in models if not isinstance(m, NoError)]
+
+    @property
+    def channel_exact(self) -> bool:  # type: ignore[override]
+        return all(model.channel_exact for model in self.models)
 
     def apply_after_gate(self, state, qubits, duration_ns, rng) -> int:
         return sum(m.apply_after_gate(state, qubits, duration_ns, rng) for m in self.models)
@@ -250,6 +364,36 @@ class CompositeError(ErrorModel):
             outcome = model.flip_measurement(outcome, rng)
         return outcome
 
+    def noise_channels(self, qubits, duration_ns):
+        """One compiled channel per qubit position, not sequential application.
+
+        Members' placements on the same qubit tuple compose into a single
+        PTM (matrix product, in member order), so the density engine pays
+        one superoperator per location however many models stack.
+        """
+        if not self.channel_exact:
+            return None
+        merged: dict[tuple[int, ...], Channel] = {}
+        order: list[tuple[int, ...]] = []
+        for model in self.models:
+            for placement, channel in model.noise_channels(qubits, duration_ns) or []:
+                existing = merged.get(placement)
+                if existing is None:
+                    merged[placement] = channel
+                    order.append(placement)
+                else:
+                    merged[placement] = channel.compose(existing)
+        return [(placement, merged[placement]) for placement in order]
+
+    def confusion(self) -> np.ndarray | None:
+        combined: np.ndarray | None = None
+        for model in self.models:
+            matrix = model.confusion()
+            if matrix is None:
+                continue
+            combined = matrix if combined is None else combined @ matrix
+        return combined
+
     def describe(self) -> str:
         return " + ".join(m.describe() for m in self.models) or "none"
 
@@ -257,14 +401,14 @@ class CompositeError(ErrorModel):
 def noise_kind(error_model: ErrorModel) -> str:
     """Classify an error model for backend dispatch.
 
-    ``"none"`` (perfect qubits), ``"depolarizing"`` (exactly representable
-    as the density engine's channel) or ``"trajectory"`` (stochastic
-    injection only).
+    ``"none"`` (perfect qubits), ``"channel"`` (exactly representable as
+    compiled PTM channels plus read-out confusion, so the density engine
+    can run it) or ``"trajectory"`` (stochastic injection only).
     """
     if isinstance(error_model, NoError):
         return "none"
-    if isinstance(error_model, DepolarizingError):
-        return "depolarizing"
+    if error_model.channel_exact:
+        return "channel"
     return "trajectory"
 
 

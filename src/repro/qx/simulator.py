@@ -8,8 +8,8 @@ instructions, it executes them, measures, and returns results.
 
 Four engines sit behind one front-end: the dense state vector (exact, up
 to 26 qubits), the stabilizer tableau (Clifford-only, hundreds of qubits),
-the density matrix (exact channels, 10 qubits) and the matrix-product
-state (low-entanglement circuits on 50-100+ qubits).  Which engine runs a
+the density matrix (exact compiled channels, 16 qubits) and the
+matrix-product state (low-entanglement circuits on 50-100+ qubits).  Which engine runs a
 circuit is decided by the :class:`~repro.qx.backends.DispatchPolicy` cost
 model, overridable per call with ``backend=``; every engine emits
 histograms under the shared :mod:`repro.qx.keying` convention, so routing
@@ -39,10 +39,10 @@ from repro.qx.backends import (
     profile_circuit,
     profile_program,
 )
+from repro.qx.channels import compile_channels
 from repro.qx.compiled import COND_GATE, GATE, MEASURE, program_for
 from repro.qx.density import DensityMatrixSimulator
 from repro.qx.error_models import (
-    DepolarizingError,
     ErrorModel,
     NoError,
     error_model_for,
@@ -104,6 +104,10 @@ class QXSimulator:
     ``None`` lets the dispatch ``policy`` choose per circuit.  ``max_bond``
     and ``truncation_threshold`` are the MPS accuracy knobs (``None``
     inherits the policy defaults: unbounded bond, i.e. exact).
+    ``channel_fusion`` controls whether density-engine runs fuse each gate
+    with its trailing noise channels into one superoperator per position
+    (on by default; off keeps every channel a separate application — the
+    benchmark baseline, never a different answer).
     """
 
     def __init__(
@@ -116,6 +120,7 @@ class QXSimulator:
         max_bond: int | None = None,
         truncation_threshold: float | None = None,
         policy: DispatchPolicy | None = None,
+        channel_fusion: bool = True,
     ):
         if error_model is not None and qubit_model is not None:
             raise ValueError("pass either error_model or qubit_model, not both")
@@ -129,6 +134,7 @@ class QXSimulator:
         self.max_bond = max_bond
         self.truncation_threshold = truncation_threshold
         self.policy = policy if policy is not None else DispatchPolicy()
+        self.channel_fusion = channel_fusion
 
     def _dispatch_policy(self) -> DispatchPolicy:
         """The policy with this simulator's MPS knobs folded in.
@@ -443,29 +449,27 @@ class QXSimulator:
     def _run_density(self, program, num_qubits, shots):
         """Exact ensemble execution on the density-matrix engine.
 
-        Gates contract into ``rho`` and a depolarising error model applies
-        its exact channel after each gate — no stochastic injection, so
-        ``errors_injected`` stays 0 and the histogram is sampled from the
-        exact outcome distribution under the shared keying convention.
+        The program compiles into one channel program — each gate's PTM
+        fused with its trailing noise channels (``channel_fusion=False``
+        keeps every channel a separate op) — and evolves the Pauli
+        coefficient vector once, flat in shots.  No stochastic injection,
+        so ``errors_injected`` stays 0; read-out error becomes the compiled
+        classical confusion matrix applied to the exact outcome
+        distribution before sampling under the shared keying convention.
         """
-        engine = DensityMatrixSimulator(num_qubits)
-        depolarizing = (
-            self.error_model if isinstance(self.error_model, DepolarizingError) else None
+        error_model = None if isinstance(self.error_model, NoError) else self.error_model
+        channels = compile_channels(
+            program, error_model, num_qubits=num_qubits, fuse=self.channel_fusion
         )
-        for op in program.ops:
-            if op.kind != GATE:
-                continue
-            engine.apply_unitary(op.matrix, op.qubits)
-            if depolarizing is not None:
-                rate = depolarizing.rate_for(op.qubits)
-                for qubit in op.qubits:
-                    engine.apply_depolarizing(qubit, rate)
+        engine = DensityMatrixSimulator(num_qubits)
+        engine.run_channels(channels)
         result = SimulationResult(num_qubits=num_qubits, shots=shots, backend="density")
         if program.num_measurements:
             ordered_bits, sources = program.sample_sources()
-            result.counts = sample_index_counts(
-                engine.probabilities(), shots, sources, self.rng
-            )
+            probabilities = engine.probabilities()
+            if channels.confusion is not None:
+                probabilities = _confuse(probabilities, channels.confusion, sources)
+            result.counts = sample_index_counts(probabilities, shots, sources, self.rng)
             result.classical_bits = counts_to_bits(
                 result.counts,
                 tuple(ordered_bits),
@@ -503,6 +507,26 @@ class QXSimulator:
                     self.error_model.apply_after_gate(state, op.qubits, op.duration, self.rng)
             total += float(abs(np.vdot(ideal, state.amplitudes)) ** 2)
         return total / shots
+
+
+def _confuse(
+    probabilities: np.ndarray, confusion: np.ndarray, qubits: tuple[int, ...]
+) -> np.ndarray:
+    """Mix a basis-state distribution through a read-out confusion matrix.
+
+    ``probabilities`` is flat over basis indices with qubit ``q`` at bit
+    ``q`` (the :func:`~repro.qx.keying.sample_index_counts` convention);
+    the row-stochastic 2x2 ``confusion`` maps the true outcome of each
+    measured qubit to the reported one: ``P(report b) = sum_a P(a) C[a, b]``.
+    """
+    probabilities = np.ascontiguousarray(probabilities)
+    for qubit in sorted(set(qubits)):
+        view = probabilities.reshape(-1, 2, 2**qubit)
+        zero = view[:, 0, :].copy()
+        one = view[:, 1, :]
+        view[:, 0, :] = confusion[0, 0] * zero + confusion[1, 0] * one
+        view[:, 1, :] = confusion[0, 1] * zero + confusion[1, 1] * one
+    return probabilities
 
 
 #: Back-compat aliases; the implementations live in :mod:`repro.qx.keying`.

@@ -70,6 +70,7 @@ class BatchCircuit:
     backend: str | None = None
     max_bond: int | None = None
     truncation_threshold: float | None = None
+    channel_fusion: bool | None = None
     label: str | None = None
 
     def __post_init__(self) -> None:
@@ -599,6 +600,8 @@ class BatchRunner:
             simulation.max_bond = batch_circuit.max_bond
         if batch_circuit.truncation_threshold is not None:
             simulation.truncation_threshold = batch_circuit.truncation_threshold
+        if batch_circuit.channel_fusion is not None:
+            simulation.channel_fusion = batch_circuit.channel_fusion
         return shots, seed, simulation
 
     def _plan_circuit(
@@ -728,6 +731,7 @@ class BatchRunner:
                     backend=simulation.backend,
                     max_bond=simulation.max_bond,
                     truncation_threshold=simulation.truncation_threshold,
+                    channel_fusion=simulation.channel_fusion,
                 )
                 for shard_index, size in enumerate(shard_shots)
             ]

@@ -155,6 +155,7 @@ class ExperimentRunner:
                 backend=simulation.backend,
                 max_bond=simulation.max_bond,
                 truncation_threshold=simulation.truncation_threshold,
+                channel_fusion=simulation.channel_fusion,
             )
             for shard_index, size in enumerate(
                 shard_sizes(spec.shots, spec.max_shard_shots, spec.min_shards)

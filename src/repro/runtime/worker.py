@@ -27,10 +27,11 @@ class ShardTask:
 
     ``backend`` pins the simulation engine (``None`` = policy
     auto-dispatch); ``max_bond`` and ``truncation_threshold`` are the MPS
-    accuracy knobs.  All three come verbatim from the spec's
-    :class:`~repro.runtime.spec.SimulationSpec` (possibly swept), so every
-    shard of a point runs on the same engine configuration and the merged
-    histogram stays bit-identical for any worker count.
+    accuracy knobs; ``channel_fusion`` is the density engine's
+    superoperator-fusion cost knob.  All of them come verbatim from the
+    spec's :class:`~repro.runtime.spec.SimulationSpec` (possibly swept), so
+    every shard of a point runs on the same engine configuration and the
+    merged histogram stays bit-identical for any worker count.
     """
 
     cqasm: str
@@ -44,6 +45,7 @@ class ShardTask:
     backend: str | None = None
     max_bond: int | None = None
     truncation_threshold: float | None = None
+    channel_fusion: bool = True
 
 
 @dataclass
@@ -328,6 +330,7 @@ def run_shard(task: ShardTask | QecShardTask | CompileShardTask) -> ShardResult:
         backend=task.backend,
         max_bond=task.max_bond,
         truncation_threshold=task.truncation_threshold,
+        channel_fusion=task.channel_fusion,
     )
     metrics: dict = {}
     if task.backend == "stabilizer":

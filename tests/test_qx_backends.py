@@ -165,7 +165,7 @@ class TestUnsupportedBackendErrors:
             QXSimulator(seed=0).run(circuit, shots=2, backend="stabilizer")
 
     def test_density_rejects_large_registers(self):
-        circuit = ghz_circuit(11)
+        circuit = ghz_circuit(17)
         circuit.measure_all()
         with pytest.raises(UnsupportedBackendError, match="exceed the density limit"):
             QXSimulator(seed=0).run(circuit, shots=2, backend="density")
@@ -179,11 +179,23 @@ class TestUnsupportedBackendErrors:
         with pytest.raises(UnsupportedBackendError, match="conditional"):
             QXSimulator(seed=0).run(circuit, shots=2, backend="density")
 
-    def test_density_rejects_decoherence_models(self):
+    def test_density_accepts_decoherence_models(self):
+        """T1/T2 decoherence now has an exact channel form on the density engine."""
         circuit = ghz_circuit(2)
         circuit.measure_all()
         simulator = QXSimulator(error_model=DecoherenceError(t1_ns=1e4, t2_ns=1e4), seed=0)
-        with pytest.raises(UnsupportedBackendError, match="depolarising channel"):
+        result = simulator.run(circuit, shots=20, backend="density")
+        assert result.backend == "density"
+        assert sum(result.counts.values()) == 20
+
+    def test_density_rejects_trajectory_only_models(self):
+        class TrajectoryOnly(DepolarizingError):
+            channel_exact = False
+
+        circuit = ghz_circuit(2)
+        circuit.measure_all()
+        simulator = QXSimulator(error_model=TrajectoryOnly(0.01), seed=0)
+        with pytest.raises(UnsupportedBackendError, match="trajectory-only"):
             simulator.run(circuit, shots=2, backend="density")
 
     def test_statevector_rejects_beyond_wall(self):
@@ -200,7 +212,7 @@ class TestUnsupportedBackendErrors:
             QXSimulator(seed=0).run(circuit, shots=2, backend="mps")
 
     def test_message_carries_capability_matrix(self):
-        circuit = ghz_circuit(11)
+        circuit = ghz_circuit(17)
         circuit.measure_all()
         with pytest.raises(UnsupportedBackendError) as excinfo:
             QXSimulator(seed=0).run(circuit, shots=2, backend="density")

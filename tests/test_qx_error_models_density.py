@@ -95,8 +95,10 @@ class TestErrorModels:
 
 class TestDensityMatrix:
     def test_qubit_limit(self):
+        from repro.qx.density import DENSITY_MAX_QUBITS
+
         with pytest.raises(ValueError):
-            DensityMatrixSimulator(11)
+            DensityMatrixSimulator(DENSITY_MAX_QUBITS + 1)
 
     def test_pure_state_purity_one(self):
         dm = DensityMatrixSimulator(2)

@@ -113,7 +113,7 @@ class TestRunnerBackendAxis:
         assert point.counts == parallel.points[0].counts
 
     def test_unsupported_backend_fails_fast_in_parent(self, tmp_path):
-        spec = _ghz_spec(16, backend="density")  # 16 qubits > density limit
+        spec = _ghz_spec(17, backend="density")  # 17 qubits > density limit
         with pytest.raises(UnsupportedBackendError, match="density limit"):
             ExperimentRunner(spec, workers=1, cache_dir=tmp_path).run()
 
@@ -166,7 +166,7 @@ class TestCli:
 
     def test_unsupported_backend_exits_nonzero(self):
         process = self._run_cli(
-            "--circuit", "ghz", "--qubits", "16", "--backend", "density",
+            "--circuit", "ghz", "--qubits", "17", "--backend", "density",
             "--shots", "10", "--no-cache", "--quiet",
         )
         assert process.returncode == 1
