@@ -21,11 +21,11 @@ def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
         max(len(str(headers[i])), max((len(str(row[i])) for row in rows), default=0))
         for i in range(len(headers))
     ]
-    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths, strict=True))
     print(header_line)
     print("-" * len(header_line))
     for row in rows:
-        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths, strict=True)))
 
 
 def run_once(benchmark, function, *args, **kwargs):

@@ -70,7 +70,7 @@ def _measure():
     batch_s, batch = _run_batch_fleet()
     identical = all(
         point.counts == row.counts
-        for point, row in zip(serial.points, batch.circuits[:SERIAL_SAMPLE])
+        for point, row in zip(serial.points, batch.circuits[:SERIAL_SAMPLE], strict=True)
     )
     # The host is a shared VM: a single noisy reading should not fail the
     # bar the workload genuinely clears, so a sub-bar first ratio gets one

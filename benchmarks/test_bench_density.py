@@ -227,7 +227,7 @@ def _measure_qec_cross_check(p=0.05, trials=40_000):
         syndrome = observed[index]
         rounds = np.stack([syndrome, syndrome ^ final_syndrome[index]])
         times, ancillas = np.nonzero(rounds)
-        events = list(zip(times.tolist(), ancillas.tolist()))
+        events = list(zip(times.tolist(), ancillas.tolist(), strict=True))
         if decode(events) != int(parity[index]):
             l_exact += probabilities[index]
     decode_s = time.perf_counter() - start

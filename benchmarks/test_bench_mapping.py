@@ -259,6 +259,6 @@ def test_compile_runtime_sweep_bit_identical_across_workers(benchmark):
         ["point", "swaps", "makespan_ns", "locality"],
         rows,
     )
-    for left, right in zip(serial.points, parallel.points):
+    for left, right in zip(serial.points, parallel.points, strict=True):
         assert left.metrics == right.metrics
         assert left.params == right.params

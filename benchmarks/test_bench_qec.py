@@ -309,7 +309,7 @@ def test_union_find_d11_speedup_vs_blossom(benchmark):
         defect_sets = []
         for shot in range(shots):
             times, ancillas = np.nonzero(changed[shot])
-            defect_sets.append(list(zip(times.tolist(), ancillas.tolist())))
+            defect_sets.append(list(zip(times.tolist(), ancillas.tolist(), strict=True)))
         union_find = UnionFindDecoder(code)
         blossom = MatchingDecoder(code)
         start = time.perf_counter()

@@ -88,7 +88,7 @@ def test_query_scaling_sqrt_vs_linear(benchmark):
         ["database_size_N", "grover_queries", "sqrt(N)", "classical_expected"],
         rows,
     )
-    for database, queries, sqrt_n, classical in rows:
+    for _database, queries, sqrt_n, classical in rows:
         assert queries <= sqrt_n + 2
         assert classical > queries
 

@@ -50,7 +50,7 @@ def test_solution_quality_small_instances(benchmark):
         ["size", "exact", "sim_annealing", "sim_quantum_annealing", "digital_annealer", "qaoa_p2"],
         [tuple(round(v, 2) if isinstance(v, float) else v for v in row) for row in rows],
     )
-    for size, optimum, sa, sqa, digital, qaoa in rows:
+    for _size, optimum, sa, sqa, digital, qaoa in rows:
         assert sa == pytest.approx(optimum, abs=1e-9)
         assert digital == pytest.approx(optimum, abs=1e-9)
         assert sqa <= optimum + 1.0

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Run the circuit dataflow verifier over the repo's canonical circuits.
+
+Builds every registry circuit (:data:`repro.runtime.spec.BUILDERS` at
+representative sizes), the hybrid teleportation example, and a surface-code
+extraction circuit, then runs :func:`repro.analysis.verify` over each —
+both on the source circuit and, with ``--compiled``, on its compiled form —
+and fails (exit 1) on any error-severity diagnostic.  Warning-severity
+diagnostics are printed but do not fail the run.
+
+This is the CI ``contracts`` job's second half: the Level-1 linter checks
+the *source tree*, this checks the *circuits the stack actually builds*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import sys
+
+from _bootstrap import REPO_ROOT, ensure_importable  # noqa: E402
+
+
+def _example_circuits() -> list[tuple[str, "object"]]:
+    """Circuits from the examples/ scripts that expose builders."""
+    path = os.path.join(REPO_ROOT, "examples", "hybrid_teleportation.py")
+    spec = importlib.util.spec_from_file_location("hybrid_teleportation", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return [
+        ("examples/hybrid_teleportation (feedback)", module.teleportation_circuit(0.3)),
+        (
+            "examples/hybrid_teleportation (postselect)",
+            module.teleportation_circuit(0.3, feedback=False),
+        ),
+    ]
+
+
+def gather(include_compiled: bool) -> list[tuple[str, "object"]]:
+    from repro.openql.compiler import Compiler
+    from repro.openql.platform import perfect_platform
+    from repro.qec.surface_code import PlanarSurfaceCode
+    from repro.runtime.spec import BUILDERS, CircuitSpec
+
+    samples = {
+        "bell": {},
+        "ghz": {"num_qubits": 8},
+        "qft": {"num_qubits": 6},
+        "random": {"num_qubits": 5, "depth": 8, "seed": 1},
+        "rotations": {"num_qubits": 6},
+    }
+    circuits: list[tuple[str, object]] = []
+    for name in sorted(BUILDERS):
+        kwargs = samples.get(name, {})
+        circuit = CircuitSpec(builder=name, kwargs=kwargs).build()
+        circuits.append((f"builder:{name}", circuit))
+    circuits.extend(_example_circuits())
+    circuits.append(("qec:surface-d3 extraction", PlanarSurfaceCode(3).extraction_circuit()))
+    if include_compiled:
+        compiler = Compiler()
+        for label, circuit in list(circuits):
+            platform = perfect_platform(num_qubits=circuit.num_qubits)
+            compiled = compiler.compile_circuit(circuit, platform)
+            circuits.append((f"{label} [compiled]", compiled))
+    return circuits
+
+
+def main(argv: list[str] | None = None) -> int:
+    ensure_importable()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--examples",
+        action="store_true",
+        help="accepted for CI symmetry; the example circuits are always included",
+    )
+    parser.add_argument(
+        "--compiled",
+        action="store_true",
+        help="also verify each circuit after the full compile pipeline",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.analysis import verify
+
+    failures = 0
+    checked = 0
+    for label, circuit in gather(include_compiled=args.compiled):
+        diagnostics = verify(circuit)
+        checked += 1
+        for diagnostic in diagnostics:
+            print(f"{label}: {diagnostic.format()}")
+            if diagnostic.severity == "error":
+                failures += 1
+    if failures:
+        print(f"\n{failures} error(s) across {checked} circuit(s)", file=sys.stderr)
+        return 1
+    print(f"circuits clean: {checked} verified ({'with' if args.compiled else 'no'} compiled pass)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

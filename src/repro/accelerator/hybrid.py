@@ -54,7 +54,7 @@ class HybridExecutor:
         max_iterations: int = 50,
         learning_rate: float = 0.3,
         error_model: ErrorModel | None = None,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ):
         self.circuit_generator = circuit_generator
         self.expectation_from_counts = expectation_from_counts

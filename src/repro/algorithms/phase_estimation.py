@@ -83,7 +83,7 @@ def estimate_phase(
     unitary: np.ndarray,
     counting_qubits: int = 5,
     shots: int = 256,
-    seed: int | None = None,
+    seed: int | np.random.SeedSequence | None = None,
 ) -> PhaseEstimationResult:
     """Estimate the eigenphase of ``unitary`` on its |1> eigenvector."""
     circuit = phase_estimation_circuit(unitary, counting_qubits)
@@ -118,7 +118,7 @@ def quantum_counting(
     database_size: int,
     num_marked: int,
     counting_qubits: int = 8,
-    seed: int | None = None,
+    seed: int | np.random.SeedSequence | None = None,
 ) -> CountingResult:
     """Estimate the number of marked entries via QPE on the Grover operator.
 

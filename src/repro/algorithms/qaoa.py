@@ -54,7 +54,7 @@ class QAOA:
         optimizer: str = "cobyla",
         max_iterations: int = 150,
         shots: int | None = None,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ):
         if depth < 1:
             raise ValueError("depth must be >= 1")

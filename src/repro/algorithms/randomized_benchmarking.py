@@ -62,7 +62,7 @@ class RBResult:
     shots_per_point: int = 0
 
     def as_rows(self) -> list[tuple[int, float]]:
-        return list(zip(self.sequence_lengths, self.survival_probabilities))
+        return list(zip(self.sequence_lengths, self.survival_probabilities, strict=True))
 
 
 class RandomizedBenchmarking:
@@ -71,7 +71,7 @@ class RandomizedBenchmarking:
     def __init__(
         self,
         error_model: ErrorModel | None = None,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ):
         self.error_model = error_model or NoError()
         self.rng = np.random.default_rng(seed)

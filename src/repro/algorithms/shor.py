@@ -95,7 +95,7 @@ def _quantum_order_finding(base: int, modulus: int, rng: np.random.Generator) ->
     return None
 
 
-def shor_factor(n: int, seed: int | None = None, max_attempts: int = 20) -> ShorResult:
+def shor_factor(n: int, seed: int | np.random.SeedSequence | None = None, max_attempts: int = 20) -> ShorResult:
     """Factor a small composite ``n`` with Shor's algorithm.
 
     Falls back to classical order finding when the registers would exceed

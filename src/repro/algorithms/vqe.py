@@ -55,7 +55,7 @@ class VQE:
         num_qubits: int,
         layers: int = 2,
         max_iterations: int = 200,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ):
         if num_qubits < 1 or num_qubits > 12:
             raise ValueError("VQE supports 1 to 12 qubits")

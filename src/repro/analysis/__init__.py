@@ -1,0 +1,50 @@
+"""Static analysis of the repro stack's correctness contracts.
+
+Two independent levels:
+
+* :mod:`repro.analysis.contracts` — an AST-walking lint engine over the
+  *source tree* enforcing the project-specific determinism, keying and
+  pickling contracts (rules ``REPRO001``–``REPRO007``), run by
+  ``scripts/lint_contracts.py`` and the CI ``contracts`` job;
+* :mod:`repro.analysis.circuit_check` — a def-use dataflow verifier over
+  *circuits and lowered programs* (classical-bit use-before-write, dead
+  measurements, qubit use after measurement, unreachable conditionals,
+  register/arity bounds), wired into the OpenQL pass pipeline
+  (:class:`~repro.openql.passes.verification_pass.VerificationPass`), the
+  :class:`~repro.runtime.runner.ExperimentRunner` planner and the
+  :class:`~repro.runtime.batch.BatchRunner` lowering step.
+
+See ``docs/analysis.md`` for the rule catalogue and semantics.
+"""
+
+from repro.analysis.circuit_check import (
+    CircuitContractError,
+    CircuitContractWarning,
+    Diagnostic,
+    report,
+    verify,
+    verify_program,
+)
+from repro.analysis.contracts import (
+    RULES,
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+    rule_catalogue,
+)
+
+__all__ = [
+    "CircuitContractError",
+    "CircuitContractWarning",
+    "Diagnostic",
+    "RULES",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "report",
+    "rule_catalogue",
+    "verify",
+    "verify_program",
+]

@@ -28,6 +28,7 @@ class DigitalAnnealer:
         beta_end: float = 20.0,
         escape_offset: float = 0.1,
         seed: int | None = None,
+        rng: np.random.Generator | None = None,
     ):
         self.num_nodes = num_nodes
         self.num_sweeps = num_sweeps
@@ -35,7 +36,7 @@ class DigitalAnnealer:
         self.beta_start = beta_start
         self.beta_end = beta_end
         self.escape_offset = escape_offset
-        self.rng = np.random.default_rng(seed)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
 
     # ------------------------------------------------------------------ #
     def capacity_check(self, qubo: QUBO) -> bool:

@@ -43,11 +43,17 @@ class EmbeddingResult:
 class MinorEmbedder:
     """Greedy chain-growth minor-embedding heuristic."""
 
-    def __init__(self, hardware_graph: nx.Graph, seed: int | None = None, tries: int = 3):
+    def __init__(
+        self,
+        hardware_graph: nx.Graph,
+        seed: int | None = None,
+        tries: int = 3,
+        rng: np.random.Generator | None = None,
+    ):
         if hardware_graph.number_of_nodes() == 0:
             raise ValueError("hardware graph is empty")
         self.hardware = hardware_graph
-        self.rng = np.random.default_rng(seed)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.tries = max(1, tries)
 
     # ------------------------------------------------------------------ #

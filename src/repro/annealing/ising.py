@@ -88,15 +88,20 @@ class IsingModel:
     def edges(self) -> list[tuple[int, int]]:
         """Spin pairs with non-zero coupling."""
         rows, cols = np.nonzero(self.couplings)
-        return sorted((int(i), int(j)) for i, j in zip(rows, cols))
+        return sorted((int(i), int(j)) for i, j in zip(rows, cols, strict=True))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"IsingModel(spins={self.num_spins}, couplings={len(self.edges())})"
 
 
-def random_ising(num_spins: int, density: float = 0.5, seed: int | None = None) -> IsingModel:
+def random_ising(
+    num_spins: int,
+    density: float = 0.5,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> IsingModel:
     """Random spin-glass instance for solver benchmarks."""
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     h = rng.uniform(-1.0, 1.0, size=num_spins)
     couplings = np.zeros((num_spins, num_spins))
     for i in range(num_spins):

@@ -30,6 +30,7 @@ class SimulatedQuantumAnnealer:
         gamma_start: float = 3.0,
         gamma_end: float = 0.05,
         seed: int | None = None,
+        rng: np.random.Generator | None = None,
     ):
         if num_replicas < 2:
             raise ValueError("need at least 2 Trotter replicas")
@@ -39,7 +40,7 @@ class SimulatedQuantumAnnealer:
         self.beta = beta
         self.gamma_start = gamma_start
         self.gamma_end = gamma_end
-        self.rng = np.random.default_rng(seed)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
 
     # ------------------------------------------------------------------ #
     def _replica_coupling(self, gamma: float) -> float:

@@ -118,9 +118,14 @@ class QUBO:
         return f"QUBO(variables={self.num_variables}, terms={len(self.quadratic_terms())})"
 
 
-def random_qubo(num_variables: int, density: float = 0.5, seed: int | None = None) -> QUBO:
+def random_qubo(
+    num_variables: int,
+    density: float = 0.5,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> QUBO:
     """Random QUBO instance used by the solver-comparison benchmarks."""
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     matrix = np.zeros((num_variables, num_variables))
     for i in range(num_variables):
         matrix[i, i] = rng.uniform(-1.0, 1.0)

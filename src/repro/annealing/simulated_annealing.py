@@ -42,6 +42,7 @@ class SimulatedAnnealer:
         beta_end: float = 10.0,
         schedule: str = "geometric",
         seed: int | None = None,
+        rng: np.random.Generator | None = None,
     ):
         if schedule not in ("geometric", "linear"):
             raise ValueError("schedule must be 'geometric' or 'linear'")
@@ -50,7 +51,7 @@ class SimulatedAnnealer:
         self.beta_start = beta_start
         self.beta_end = beta_end
         self.schedule = schedule
-        self.rng = np.random.default_rng(seed)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
 
     # ------------------------------------------------------------------ #
     def betas(self) -> np.ndarray:

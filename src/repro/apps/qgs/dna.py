@@ -63,7 +63,7 @@ def hamming_distance(seq_a: str, seq_b: str) -> int:
     """Number of mismatching positions between two equal-length sequences."""
     if len(seq_a) != len(seq_b):
         raise ValueError("sequences must have equal length")
-    return sum(1 for a, b in zip(seq_a, seq_b) if a != b)
+    return sum(1 for a, b in zip(seq_a, seq_b, strict=False) if a != b)
 
 
 @dataclass
@@ -84,7 +84,7 @@ class ArtificialGenome:
     def __init__(
         self,
         length: int,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
         transitions: np.ndarray | None = None,
     ):
         if length < 4:

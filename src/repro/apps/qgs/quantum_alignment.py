@@ -36,7 +36,7 @@ class AlignmentResult:
 class QuantumAligner:
     """Align reads against a reference using associative memory + Grover."""
 
-    def __init__(self, reference: str, read_length: int, seed: int | None = None):
+    def __init__(self, reference: str, read_length: int, seed: int | np.random.SeedSequence | None = None):
         if read_length < 1 or read_length > len(reference):
             raise ValueError("invalid read length")
         self.reference = reference

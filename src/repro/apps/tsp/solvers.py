@@ -133,7 +133,7 @@ def monte_carlo_tsp(
     iterations: int = 5000,
     temperature: float = 1.0,
     cooling: float = 0.999,
-    seed: int | None = None,
+    seed: int | np.random.SeedSequence | None = None,
 ) -> TSPSolution:
     """Simulated-annealing Monte Carlo over tour permutations (swap moves)."""
     rng = np.random.default_rng(seed)
@@ -191,7 +191,7 @@ def solve_tsp_with_annealer(
 def solve_tsp_with_qaoa(
     instance: TSPInstance,
     depth: int = 2,
-    seed: int | None = None,
+    seed: int | np.random.SeedSequence | None = None,
     max_iterations: int = 60,
     penalty: float | None = None,
 ) -> TSPSolution:

@@ -107,7 +107,7 @@ def netherlands_tsp() -> TSPInstance:
     return instance.scaled(PAPER_OPTIMAL_COST / best_cost)
 
 
-def random_tsp(num_cities: int, seed: int | None = None, box: float = 1.0) -> TSPInstance:
+def random_tsp(num_cities: int, seed: int | np.random.SeedSequence | None = None, box: float = 1.0) -> TSPInstance:
     """Random Euclidean TSP instance in a unit box (for the scaling benchmarks)."""
     if num_cities < 2:
         raise ValueError("need at least two cities")

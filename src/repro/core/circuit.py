@@ -313,7 +313,7 @@ def ghz_circuit(num_qubits: int) -> Circuit:
 def random_circuit(
     num_qubits: int,
     depth: int,
-    seed: int | None = None,
+    seed: int | np.random.SeedSequence | None = None,
     two_qubit_fraction: float = 0.3,
 ) -> Circuit:
     """Random circuit generator used by the mapping and compiler benchmarks."""
@@ -334,7 +334,9 @@ def random_circuit(
     return circuit
 
 
-def rotation_ladder_circuit(num_qubits: int, depth: int = 4, seed: int = 0) -> Circuit:
+def rotation_ladder_circuit(
+    num_qubits: int, depth: int = 4, seed: int | np.random.SeedSequence = 0
+) -> Circuit:
     """Fixed-structure rotation ladder with seed-drawn angles.
 
     Every seed produces the *same gate positions* (``depth`` layers of

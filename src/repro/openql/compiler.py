@@ -20,6 +20,7 @@ from repro.openql.passes.decomposition import DecompositionPass
 from repro.openql.passes.mapping_pass import MappingPass
 from repro.openql.passes.optimization import OptimizationPass
 from repro.openql.passes.scheduling_pass import SchedulingPass
+from repro.openql.passes.verification_pass import VerificationPass
 from repro.openql.platform import Platform
 from repro.openql.program import Program
 
@@ -47,7 +48,7 @@ class CompilationResult:
         num_qubits = max(k.num_qubits for k in self.kernels)
         num_bits = max(max(k.num_bits for k in self.kernels), num_qubits)
         flat = Circuit(num_qubits, name=self.program_name, num_bits=num_bits)
-        for circuit, iterations in zip(self.kernels, self.kernel_iterations):
+        for circuit, iterations in zip(self.kernels, self.kernel_iterations, strict=True):
             for _ in range(iterations):
                 for op in circuit.operations:
                     flat.append(op)
@@ -56,13 +57,13 @@ class CompilationResult:
     def total_gate_count(self) -> int:
         return sum(
             circuit.gate_count() * iterations
-            for circuit, iterations in zip(self.kernels, self.kernel_iterations)
+            for circuit, iterations in zip(self.kernels, self.kernel_iterations, strict=True)
         )
 
     def total_makespan_ns(self) -> int:
         return sum(
             schedule.makespan * iterations
-            for schedule, iterations in zip(self.schedules, self.kernel_iterations)
+            for schedule, iterations in zip(self.schedules, self.kernel_iterations, strict=False)
         )
 
     def statistics_for(self, pass_name: str) -> dict:
@@ -88,6 +89,8 @@ class Compiler:
         optimize: bool = True,
         map_circuits: bool = True,
         schedule_policy: str = "asap",
+        verify: bool = False,
+        strict_verify: bool = False,
     ):
         if passes is not None:
             self.passes = passes
@@ -99,6 +102,10 @@ class Compiler:
             if map_circuits:
                 self.passes.append(MappingPass())
             self.passes.append(SchedulingPass(policy=schedule_policy))
+            if verify or strict_verify:
+                # Verification runs last so it sees the mapped, scheduled
+                # circuit that will actually execute.
+                self.passes.append(VerificationPass(strict=strict_verify))
 
     # ------------------------------------------------------------------ #
     def compile(self, program: Program) -> CompilationResult:

@@ -9,10 +9,12 @@ from repro.openql.passes.decomposition import DecompositionPass
 from repro.openql.passes.optimization import OptimizationPass
 from repro.openql.passes.mapping_pass import MappingPass
 from repro.openql.passes.scheduling_pass import SchedulingPass
+from repro.openql.passes.verification_pass import VerificationPass
 
 __all__ = [
     "DecompositionPass",
     "OptimizationPass",
     "MappingPass",
     "SchedulingPass",
+    "VerificationPass",
 ]

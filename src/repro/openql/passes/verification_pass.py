@@ -1,0 +1,44 @@
+"""Opt-in circuit verification pass.
+
+Runs the :mod:`repro.analysis.circuit_check` def-use verifier over the
+circuit *after* the transforming passes, so what is checked is what will
+actually execute (mapping may have re-indexed qubits, scheduling may have
+reordered commuting operations).  The pass transforms nothing; it only
+records diagnostics in its statistics and — in strict mode — raises
+:class:`~repro.analysis.circuit_check.CircuitContractError` on
+error-severity findings.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.circuit_check import CircuitContractError, verify
+from repro.core.circuit import Circuit
+from repro.openql.passes.base import Pass
+from repro.openql.platform import Platform
+
+
+class VerificationPass(Pass):
+    """Verify classical/quantum dataflow; identity on the circuit itself."""
+
+    name = "verification"
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        self.last_diagnostics = []
+
+    def run(self, circuit: Circuit, platform: Platform) -> Circuit:
+        diagnostics = verify(circuit)
+        self.last_diagnostics = diagnostics
+        if self.strict:
+            errors = [diag for diag in diagnostics if diag.severity == "error"]
+            if errors:
+                raise CircuitContractError(errors, where=circuit.name)
+        return circuit
+
+    def statistics(self) -> dict:
+        return {
+            "diagnostics": len(self.last_diagnostics),
+            "errors": sum(1 for d in self.last_diagnostics if d.severity == "error"),
+            "warnings": sum(1 for d in self.last_diagnostics if d.severity == "warning"),
+            "codes": sorted({d.code for d in self.last_diagnostics}),
+        }

@@ -75,7 +75,7 @@ class RepetitionCode:
         self,
         physical_error_rate: float,
         trials: int = 2000,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ) -> float:
         """Monte-Carlo logical error rate under independent bit-flips.
 
@@ -93,7 +93,7 @@ class RepetitionCode:
         self,
         physical_error_rate: float,
         trials: int = 200,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ) -> float:
         """Logical error rate measured by running encode-error-measure circuits on QX."""
         rng = np.random.default_rng(seed)
@@ -104,7 +104,7 @@ class RepetitionCode:
                 if rng.random() < physical_error_rate:
                     circuit.x(qubit)
             circuit.measure_all()
-            result = QXSimulator(seed=int(rng.integers(2 ** 31))).run(circuit, shots=1)
+            result = QXSimulator(seed=int(rng.integers(2**31))).run(circuit, shots=1)
             bits = [result.classical_bits[0][q] for q in range(self.distance)]
             if self.decode_majority(bits) != 0:
                 failures += 1
@@ -211,7 +211,7 @@ class SteaneCode:
         """
         circuit = Circuit(7, "steane7_encode")
         pivots = (0, 1, 3)
-        for pivot, row in zip(pivots, self.PARITY_CHECKS):
+        for pivot, row in zip(pivots, self.PARITY_CHECKS, strict=True):
             circuit.h(pivot)
             for target in row:
                 if target != pivot:
@@ -249,7 +249,10 @@ class SteaneCode:
         return value - 1
 
     def logical_error_rate(
-        self, physical_error_rate: float, trials: int = 5000, seed: int | None = None
+        self,
+        physical_error_rate: float,
+        trials: int = 5000,
+        seed: int | np.random.SeedSequence | None = None,
     ) -> float:
         """Monte-Carlo logical X error rate under independent bit-flips.
 

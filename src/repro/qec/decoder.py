@@ -52,9 +52,7 @@ class MatchingDecoder:
             np.abs(centres[:, 1][:, None] - centres[:, 1][None, :]),
         )
         #: Distance from each plaquette to its nearest open boundary.
-        self._boundary_dist = np.minimum(
-            self._rows + 0.5, (code.distance - 0.5) - self._rows
-        )
+        self._boundary_dist = np.minimum(self._rows + 0.5, (code.distance - 0.5) - self._rows)
         #: 1 when the plaquette sits above the reference row (rows are
         #: half-integers, never equal to the integer reference row).
         above = self._rows < code.reference_row
@@ -173,7 +171,9 @@ class LookupDecoder:
         self.table = dict(table)
 
     @classmethod
-    def for_parity_checks(cls, checks: tuple[tuple[int, ...], ...], num_qubits: int) -> "LookupDecoder":
+    def for_parity_checks(
+        cls, checks: tuple[tuple[int, ...], ...], num_qubits: int
+    ) -> "LookupDecoder":
         """Build the single-error lookup table for a set of parity checks."""
         table: dict[tuple[int, ...], tuple[int, ...]] = {
             tuple(0 for _ in checks): (),

@@ -260,7 +260,7 @@ class PlanarSurfaceCode:
         total_defects = 0
         for trial in range(trials):
             times, ancillas = np.nonzero(changed[trial])
-            defects = list(zip(times.tolist(), ancillas.tolist()))
+            defects = list(zip(times.tolist(), ancillas.tolist(), strict=True))
             total_defects += len(defects)
             if decode(defects) != int(true_parities[trial]):
                 failures += 1
@@ -331,7 +331,7 @@ class PlanarSurfaceCode:
             changed = syndromes.copy()
             changed[1:] ^= syndromes[:-1]
             times, ancillas = np.nonzero(changed)
-            defects = list(zip(times.tolist(), ancillas.tolist()))
+            defects = list(zip(times.tolist(), ancillas.tolist(), strict=True))
             total_defects += len(defects)
 
             correction_parity = decode(defects)

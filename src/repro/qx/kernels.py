@@ -216,7 +216,7 @@ def apply_2q(
             if abs(entry) > _ATOL:
                 accumulator += entry * blocks[column]
         new_blocks.append(accumulator)
-    for old, new in zip(blocks, new_blocks):
+    for old, new in zip(blocks, new_blocks, strict=True):
         old[...] = new
 
 
@@ -499,7 +499,7 @@ def apply_2q_batch(
                     sel = np.flatnonzero(add)
                     accumulator[sel] += _per_row(entries[sel], nd) * gathered[column][sel]
             new_blocks.append(accumulator)
-        for blk, new in zip(blocks, new_blocks):
+        for blk, new in zip(blocks, new_blocks, strict=True):
             blk[rows] = new
     return stacked
 

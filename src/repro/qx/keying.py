@@ -35,7 +35,7 @@ def bits_histogram(all_bits: np.ndarray, ordered_bits: tuple[int, ...]) -> dict[
     rows, frequencies = np.unique(columns, axis=0, return_counts=True)
     return {
         key: int(frequency)
-        for key, frequency in zip(kernels.bitstring_keys(rows), frequencies)
+        for key, frequency in zip(kernels.bitstring_keys(rows), frequencies, strict=True)
     }
 
 
@@ -73,7 +73,7 @@ def _histogram_outcomes(
     shifts = np.array(tuple(reversed(targets)))
     bit_rows = (values[:, None] >> shifts[None, :]) & 1
     counts: dict[str, int] = {}
-    for key, frequency in zip(kernels.bitstring_keys(bit_rows), frequencies):
+    for key, frequency in zip(kernels.bitstring_keys(bit_rows), frequencies, strict=True):
         # Distinct basis indices can share a key when targets are a strict
         # subset of the register.
         counts[key] = counts.get(key, 0) + int(frequency)

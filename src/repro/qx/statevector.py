@@ -62,7 +62,10 @@ class StateVector:
         self.amplitudes = amplitudes / norm
 
     def copy(self) -> "StateVector":
-        clone = StateVector(self.num_qubits, rng=self.rng)
+        # The clone gets a spawned child generator: sharing the parent's
+        # would let probe measurements on the copy advance the parent's
+        # stream (REPRO007).
+        clone = StateVector(self.num_qubits, rng=self.rng.spawn(1)[0])
         clone.amplitudes = self.amplitudes.copy()
         return clone
 

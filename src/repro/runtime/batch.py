@@ -43,6 +43,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.circuit_check import report
 from repro.core.circuit import Circuit
 from repro.qx import compiled, kernels
 from repro.qx.backends import CircuitProfile, DispatchPolicy, profile_circuit
@@ -143,10 +144,10 @@ class BatchSpec:
             BatchCircuit(
                 circuit=CircuitSpec(
                     builder=builder,
-                    kwargs={**(base_kwargs or {}), **dict(zip(keys, values))},
+                    kwargs={**(base_kwargs or {}), **dict(zip(keys, values, strict=True))},
                     measure=measure,
                 ),
-                label=",".join(f"{key}={value}" for key, value in zip(keys, values)),
+                label=",".join(f"{key}={value}" for key, value in zip(keys, values, strict=True)),
             )
             for values in product(*(list(axes[key]) for key in keys))
         ]
@@ -277,7 +278,7 @@ def _run_stack_chunk(chunk: StackChunk) -> list[ShardResult]:
         if result is spare:
             stacked, spare = spare, stacked
     results: list[ShardResult] = []
-    for row, entry in zip(stacked, entries):
+    for row, entry in zip(stacked, entries, strict=True):
         sampler = PreparedIndexSampler(np.abs(row) ** 2, chunk.sources)
         for shard_index, size in enumerate(entry.shard_shots):
             rng = np.random.default_rng(shard_seed(entry.seed, entry.index, shard_index))
@@ -541,11 +542,13 @@ class BatchRunner:
         workers: int | None = None,
         cache_dir: str | os.PathLike | None = None,
         use_cache: bool = True,
+        strict_verify: bool = False,
     ):
         from repro.runtime.runner import available_workers
 
         self.spec = spec
         self.workers = max(1, workers if workers is not None else available_workers())
+        self.strict_verify = strict_verify
         if use_cache:
             self.cache: ArtifactCache | None = ArtifactCache(cache_dir or default_cache_dir())
         else:
@@ -553,6 +556,10 @@ class BatchRunner:
         self.policy = DispatchPolicy()
         #: (plan, shard shots, pinned backend, noise) -> chosen engine.
         self._dispatch_memo: dict[tuple, str] = {}
+        #: Plans already dataflow-verified (identity-keyed, like the
+        #: dispatch memo): structurally identical fleet circuits share a
+        #: plan, so the batch pays for one verification per structure.
+        self._verified_plans: set = set()
 
     # ------------------------------------------------------------------ #
     def _stack_dispatch(
@@ -676,6 +683,14 @@ class BatchRunner:
                 "plan_cache_hits": after["hits"] - before["hits"],
                 "plan_cache_misses": after["misses"] - before["misses"],
             }
+
+        # Lowering-time dataflow check.  Structurally identical circuits
+        # share a lowering plan, so fleets pay for one verification per
+        # structure rather than per circuit.
+        if plan is None or plan not in self._verified_plans:
+            if plan is not None:
+                self._verified_plans.add(plan)
+            report(exec_circuit, where=f"batch circuit {label!r}", strict=self.strict_verify)
 
         stackable = (
             plan is not None

@@ -24,6 +24,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.analysis.circuit_check import report
 from repro.cqasm.parser import cqasm_to_circuit
 from repro.cqasm.writer import circuit_to_cqasm
 from repro.qx.compiled import lower
@@ -71,9 +72,11 @@ class ExperimentRunner:
         workers: int | None = None,
         cache_dir: str | os.PathLike | None = None,
         use_cache: bool = True,
+        strict_verify: bool = False,
     ):
         self.spec = spec
         self.workers = max(1, workers if workers is not None else available_workers())
+        self.strict_verify = strict_verify
         if use_cache:
             self.cache: ArtifactCache | None = ArtifactCache(cache_dir or default_cache_dir())
         else:
@@ -117,6 +120,10 @@ class ExperimentRunner:
         # circuit every worker will reconstruct, then pre-warm the program
         # cache with it.
         canonical = cqasm_to_circuit(cqasm)
+        # Plan-time dataflow check: a malformed circuit (out-of-range bits,
+        # use-before-write conditionals) should surface once in the parent,
+        # not as N confusing worker results.
+        report(canonical, where=f"point {point.params!r}", strict=self.strict_verify)
         qubit_model = platform.qubit_model
         fuse = qubit_model.is_perfect
         if self.cache is not None:

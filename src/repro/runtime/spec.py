@@ -185,12 +185,16 @@ class CompilerSpec:
     optimize: bool = True
     map_circuits: bool = True
     schedule_policy: str = "asap"
+    #: Append the opt-in dataflow verification pass (warn-only; the runner's
+    #: ``strict_verify`` escalates findings to errors at plan time).
+    verify: bool = False
 
     def build(self) -> Compiler:
         return Compiler(
             optimize=self.optimize,
             map_circuits=self.map_circuits,
             schedule_policy=self.schedule_policy,
+            verify=self.verify,
         )
 
 
@@ -394,7 +398,7 @@ class ExperimentSpec:
         axes = list(self.sweep.items())
         points = []
         for index, values in enumerate(product(*(values for _, values in axes))):
-            params = {key: value for (key, _), value in zip(axes, values)}
+            params = {key: value for (key, _), value in zip(axes, values, strict=True)}
             points.append(SweepPoint(index=index, params=params, spec=self._bind(params)))
         return points
 

@@ -148,8 +148,14 @@ def program_memo_stats() -> dict[str, int]:
     return dict(_program_memo_stats)
 
 
-def load_program(task: ShardTask) -> KernelProgram:
-    """Lowered program for a task: process memo -> disk cache -> lower()."""
+def load_program(task: ShardTask) -> KernelProgram:  # contract: ignore[REPRO006]
+    """Lowered program for a task: process memo -> disk cache -> lower().
+
+    The REPRO006 ignore is deliberate: the program memo is a *per-process*
+    LRU keyed by content hash, so its state never changes a result — only
+    whether the lowering work is repeated.  Its hit/miss counters are
+    surfaced per shard precisely so that divergence would be visible.
+    """
     fuse = _noise_free(task.qubit_model)
     key = program_cache_key(task.cqasm, fuse)
     program = _PROGRAMS.get(key)

@@ -25,7 +25,7 @@ def relabel_statevector(
     free_physical = [p for p in range(num_qubits) if p not in used_physical]
     free_logical = [l for l in range(num_qubits) if l not in used_logical]
     full_map = dict(mapping)
-    full_map.update(dict(zip(free_logical, free_physical)))
+    full_map.update(dict(zip(free_logical, free_physical, strict=False)))
     out = np.zeros_like(statevector)
     for index in range(len(statevector)):
         new_index = 0

@@ -63,7 +63,7 @@ class TestTopology:
         topo = grid_topology(3, 3)
         path = topo.shortest_path(0, 8)
         assert path[0] == 0 and path[-1] == 8
-        assert all(topo.are_adjacent(a, b) for a, b in zip(path, path[1:]))
+        assert all(topo.are_adjacent(a, b) for a, b in zip(path, path[1:], strict=False))
 
     def test_empty_topology_rejected(self):
         with pytest.raises(ValueError):
@@ -101,7 +101,7 @@ class TestTopology:
                 path = topo.shortest_path(a, b)
                 assert path[0] == a and path[-1] == b
                 assert len(path) == topo.distance(a, b) + 1
-                assert all(topo.graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+                assert all(topo.graph.has_edge(u, v) for u, v in zip(path, path[1:], strict=False))
 
     def test_grid_adjacency_matches_graph(self):
         topo = grid_topology(3, 4)

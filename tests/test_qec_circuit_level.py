@@ -41,7 +41,7 @@ class TestExtractionCircuit:
         resets = [op for op in circuit.operations if isinstance(op, ConditionalGate)]
         assert len(resets) == rounds * code.num_ancilla
         # Every reset is conditioned on the bit its ancilla just measured.
-        for measurement, reset in zip(measurements, resets):
+        for measurement, reset in zip(measurements, resets, strict=True):
             assert reset.qubits == (measurement.qubit,)
             assert reset.condition_bit == measurement.bit
 

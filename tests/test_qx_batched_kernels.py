@@ -67,14 +67,14 @@ def _random_2q_matrices(batch: int, rng: np.random.Generator) -> np.ndarray:
 
 def _scalar_reference_1q(stack, matrices, qubit):
     expected = stack.copy()
-    for row, matrix in zip(expected, matrices):
+    for row, matrix in zip(expected, matrices, strict=True):
         kernels.apply_1q(row, matrix, qubit)
     return expected
 
 
 def _scalar_reference_2q(stack, matrices, qubit_0, qubit_1):
     expected = stack.copy()
-    for row, matrix in zip(expected, matrices):
+    for row, matrix in zip(expected, matrices, strict=True):
         kernels.apply_2q(row, matrix, qubit_0, qubit_1)
     return expected
 

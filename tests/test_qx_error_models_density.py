@@ -214,7 +214,7 @@ class TestTensorContraction:
             assert sim.trace() == pytest.approx(1.0, abs=1e-12)
             purities.append(sim.purity())
         assert purities[0] == pytest.approx(1.0, abs=1e-12)
-        assert all(b <= a + 1e-12 for a, b in zip(purities, purities[1:]))
+        assert all(b <= a + 1e-12 for a, b in zip(purities, purities[1:], strict=False))
         assert purities[-1] < 0.8
         assert sim.purity() >= 1.0 / 2**4 - 1e-12
 

@@ -53,7 +53,7 @@ def _batch_product(seeds, shots=96, compile_enabled=False, builder="rotations", 
 
 def _assert_counts_match(serial_points, batch_circuits):
     assert len(serial_points) == len(batch_circuits)
-    for point, circuit in zip(serial_points, batch_circuits):
+    for point, circuit in zip(serial_points, batch_circuits, strict=True):
         assert point.counts == circuit.counts  # bit-identical histograms
         assert sum(point.counts.values()) == point.shots
 

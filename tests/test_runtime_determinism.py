@@ -208,7 +208,7 @@ def test_artifact_cache_roundtrips_kernel_programs(tmp_path):
     loaded = cache.get(key)
     assert loaded.num_qubits == program.num_qubits
     assert len(loaded.ops) == len(program.ops)
-    for original, restored in zip(program.ops, loaded.ops):
+    for original, restored in zip(program.ops, loaded.ops, strict=True):
         assert original.kind == restored.kind
         assert original.qubits == restored.qubits
         if original.matrix is None:
