@@ -1,0 +1,186 @@
+"""Service smoke benchmark: daemon boot, two-tenant dedup, streaming latency.
+
+Boots a real ``scripts/serve.py`` daemon on a unix socket, has two clients
+submit the *same* sweep concurrently, and asserts the service tentpole's
+acceptance bar end to end:
+
+* both tenants receive the full per-point event stream and a ``done``
+  event (streamed-point fairness: neither stream starves);
+* the overlapping points execute exactly once — the second tenant is
+  served by in-flight subscription or the artifact cache (cross-tenant
+  dedup);
+* the daemon shuts down cleanly on request.
+
+The measured numbers — submit→first-point latency per client and merged
+points/sec — are written to ``BENCH_service.json`` (override with
+``BENCH_SERVICE_OUTPUT``) so CI tracks the service's interactive latency
+alongside the other bench artifacts; see docs/performance.md.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from bench_utils import print_table, run_once
+from repro.service import ServiceClient
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Shared with the service-smoke CI job, which submits the same spec through
+# scripts/submit.py — keep the workload definitions in one place.
+_SPEC_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "specs", "service_smoke.json"
+)
+with open(_SPEC_PATH) as _handle:
+    SPEC = json.load(_handle)
+SWEEP_SHOTS = SPEC["sweep"]["shots"]
+
+
+def _spawn_daemon(base_dir: str, socket_path: str) -> subprocess.Popen:
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            os.path.join(REPO_ROOT, "scripts", "serve.py"),
+            "--socket",
+            socket_path,
+            "--data-dir",
+            os.path.join(base_dir, "data"),
+            "--cache-dir",
+            os.path.join(base_dir, "cache"),
+            "--workers",
+            "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    ready_line = process.stdout.readline()
+    assert ready_line, process.stderr.read()
+    assert json.loads(ready_line)["ready"] is True
+    deadline = time.monotonic() + 60
+    while not os.path.exists(socket_path):
+        assert time.monotonic() < deadline, "daemon socket never appeared"
+        time.sleep(0.05)
+    return process
+
+
+def _tenant(socket_path: str, client_name: str, record: dict) -> None:
+    with ServiceClient(socket_path=socket_path) as client:
+        submitted = time.perf_counter()
+        client.submit(SPEC, client=client_name)
+        first_point_s = None
+        points = []
+        terminal = None
+        for event in client.events():
+            if event["event"] == "point":
+                if first_point_s is None:
+                    first_point_s = time.perf_counter() - submitted
+                points.append(event)
+            terminal = event
+        record.update(
+            {
+                "terminal": terminal["event"],
+                "points": points,
+                "submit_to_first_point_s": first_point_s,
+                "total_s": time.perf_counter() - submitted,
+            }
+        )
+
+
+def _measure(tmp_dir: str) -> dict:
+    socket_path = os.path.join(tmp_dir, "svc.sock")
+    boot_start = time.perf_counter()
+    daemon = _spawn_daemon(tmp_dir, socket_path)
+    boot_s = time.perf_counter() - boot_start
+    try:
+        alice: dict = {}
+        bob: dict = {}
+        threads = [
+            threading.Thread(target=_tenant, args=(socket_path, "alice", alice)),
+            threading.Thread(target=_tenant, args=(socket_path, "bob", bob)),
+        ]
+        run_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        run_s = time.perf_counter() - run_start
+
+        # Fairness: both tenants stream every point and finish.
+        for record in (alice, bob):
+            assert record.get("terminal") == "done", record.get("terminal")
+            assert len(record["points"]) == len(SWEEP_SHOTS)
+        # Dedup: identical streams, executed once.
+        for left, right in zip(alice["points"], bob["points"]):
+            assert left["result"]["counts"] == right["result"]["counts"]
+        with ServiceClient(socket_path=socket_path) as admin:
+            counters = admin.stats()["counters"]
+            assert counters["points_executed"] == len(SWEEP_SHOTS)
+            duplicates = (
+                counters["points_from_cache"] + counters["points_deduped_inflight"]
+            )
+            assert duplicates == len(SWEEP_SHOTS)
+            admin.shutdown()
+        daemon.wait(timeout=60)
+        clean_shutdown = daemon.returncode == 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=60)
+
+    merged_points = len(SWEEP_SHOTS) * 2  # both subscribers' streams
+    return {
+        "schema": 1,
+        "kind": "bench_service",
+        "workload": {
+            "circuit": "ghz-4 realistic",
+            "sweep_points": len(SWEEP_SHOTS),
+            "shots": SWEEP_SHOTS,
+            "tenants": 2,
+            "workers": 2,
+        },
+        "daemon_boot_s": round(boot_s, 3),
+        "submit_to_first_point_s": {
+            "alice": round(alice["submit_to_first_point_s"], 4),
+            "bob": round(bob["submit_to_first_point_s"], 4),
+        },
+        "points_per_s": round(merged_points / run_s, 2),
+        "run_total_s": round(run_s, 3),
+        "dedup": {
+            "points_executed": len(SWEEP_SHOTS),
+            "points_served_twice": True,
+        },
+        "clean_shutdown": clean_shutdown,
+    }
+
+
+@pytest.mark.bench_smoke
+def test_service_two_tenant_smoke(benchmark, tmp_path):
+    record = run_once(benchmark, _measure, str(tmp_path))
+
+    output = os.environ.get(
+        "BENCH_SERVICE_OUTPUT", os.path.join(REPO_ROOT, "BENCH_service.json")
+    )
+    with open(output, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    assert record["clean_shutdown"] is True
+    latency = record["submit_to_first_point_s"]
+    print_table(
+        "Service smoke: 2 tenants x 4-point sweep, cross-tenant dedup",
+        ["metric", "value"],
+        [
+            ("daemon boot (s)", record["daemon_boot_s"]),
+            ("alice submit->first point (s)", latency["alice"]),
+            ("bob submit->first point (s)", latency["bob"]),
+            ("merged points/sec", record["points_per_s"]),
+            ("points executed once", record["dedup"]["points_executed"]),
+            ("clean shutdown", record["clean_shutdown"]),
+        ],
+    )

@@ -15,8 +15,10 @@ benchmark additionally writes its measured speedup to ``BENCH_batch.json``
 next to the smoke artifact (the test honours ``BENCH_BATCH_OUTPUT``), the
 qec-threshold benchmark writes the circuit-level
 logical-error-rate-vs-p curve to ``BENCH_qec.json`` (``BENCH_QEC_OUTPUT``),
-and the density benchmarks write the channel-fusion speedup and QEC
-cross-check to ``BENCH_density.json`` (``BENCH_DENSITY_OUTPUT``).
+the density benchmarks write the channel-fusion speedup and QEC
+cross-check to ``BENCH_density.json`` (``BENCH_DENSITY_OUTPUT``), and the
+service smoke benchmark writes daemon latency and cross-tenant dedup
+numbers to ``BENCH_service.json`` (``BENCH_SERVICE_OUTPUT``).
 
 Usage: ``python scripts/bench_smoke.py [--output PATH] [extra pytest args]``
 """
@@ -94,6 +96,8 @@ def main() -> int:
     os.environ.setdefault("BENCH_QEC_OUTPUT", qec_output)
     density_output = os.path.join(os.path.dirname(output_path), "BENCH_density.json")
     os.environ.setdefault("BENCH_DENSITY_OUTPUT", density_output)
+    service_output = os.path.join(os.path.dirname(output_path), "BENCH_service.json")
+    os.environ.setdefault("BENCH_SERVICE_OUTPUT", service_output)
 
     recorder = TimingRecorder()
     os.chdir(REPO_ROOT)
@@ -129,6 +133,16 @@ def main() -> int:
         print(
             f"density fusion: {fusion}x, qec cross-check {deviation} sigma "
             f"-> {density_path}"
+        )
+    service_path = os.environ["BENCH_SERVICE_OUTPUT"]
+    if os.path.exists(service_path):
+        with open(service_path) as handle:
+            payload = json.load(handle)
+        latency = payload.get("submit_to_first_point_s", {})
+        first_point = max(latency.values()) if latency else None
+        print(
+            f"service smoke: first point in {first_point}s, "
+            f"{payload.get('points_per_s')} points/s -> {service_path}"
         )
     return int(exit_code)
 

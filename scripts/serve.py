@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Run the experiment service daemon.
+
+Boots a :class:`~repro.service.engine.JobService` over the chosen
+listeners — a unix socket and/or a TCP port for the NDJSON protocol, plus
+an optional HTTP façade — resumes any incomplete jobs from the data
+directory's journal, and prints one JSON *ready line* (with the
+actually-bound addresses) to stdout before accepting work.
+
+Examples::
+
+    python scripts/serve.py --socket /tmp/repro.sock --data-dir /tmp/repro-data
+    python scripts/serve.py --tcp-port 0 --http-port 0 --workers 4
+    python scripts/serve.py --socket svc.sock --max-cache-mb 256 --no-resume
+
+Stop with SIGTERM/SIGINT or a client ``shutdown`` op
+(``scripts/submit.py --shutdown``); the journal makes the next start
+resume incomplete jobs, re-executing only points missing from the cache.
+Exits 0 on clean shutdown, 1 on startup failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from _bootstrap import ensure_importable  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--socket", help="unix socket path for the NDJSON protocol")
+    parser.add_argument("--tcp-host", default="127.0.0.1", help="TCP bind host")
+    parser.add_argument(
+        "--tcp-port",
+        type=int,
+        default=None,
+        help="TCP port for the NDJSON protocol (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--http-port", type=int, default=None, help="HTTP facade port (0 = ephemeral)"
+    )
+    parser.add_argument("--data-dir", default="service-data", help="journal directory")
+    parser.add_argument("--cache-dir", default=None, help="artifact cache directory")
+    parser.add_argument("--workers", type=int, default=None, help="process pool size")
+    parser.add_argument(
+        "--threads",
+        action="store_true",
+        help="use a thread pool instead of processes (testing)",
+    )
+    parser.add_argument(
+        "--max-cache-mb",
+        type=float,
+        default=None,
+        help="prune the artifact cache to this size after each point",
+    )
+    parser.add_argument(
+        "--no-resume", action="store_true", help="do not resume journalled jobs"
+    )
+    parser.add_argument(
+        "--strict-verify", action="store_true", help="fail jobs on circuit-check warnings"
+    )
+    arguments = parser.parse_args()
+    if arguments.socket is None and arguments.tcp_port is None:
+        parser.error("need --socket and/or --tcp-port")
+
+    ensure_importable()
+    from repro.runtime import default_cache_dir
+    from repro.service import JobService
+    from repro.service.daemon import serve
+
+    service = JobService(
+        cache_dir=arguments.cache_dir or default_cache_dir(),
+        data_dir=arguments.data_dir,
+        workers=arguments.workers,
+        use_processes=not arguments.threads,
+        max_cache_bytes=(
+            int(arguments.max_cache_mb * 1024 * 1024)
+            if arguments.max_cache_mb is not None
+            else None
+        ),
+        resume=not arguments.no_resume,
+        strict_verify=arguments.strict_verify,
+    )
+    try:
+        asyncio.run(
+            serve(
+                service,
+                socket_path=arguments.socket,
+                tcp_host=arguments.tcp_host,
+                tcp_port=arguments.tcp_port,
+                http_port=arguments.http_port,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

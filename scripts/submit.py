@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Submit a job to a running experiment service daemon and stream results.
+
+Reads an :class:`~repro.runtime.spec.ExperimentSpec` (or, with ``--kind
+batch``, a :class:`~repro.runtime.batch.BatchSpec`) JSON file and submits
+it over the daemon's NDJSON protocol, printing each event as it streams
+back — one line per completed sweep point, then the merged final result.
+
+Examples::
+
+    python scripts/submit.py --socket /tmp/repro.sock --spec experiment.json
+    python scripts/submit.py --host 127.0.0.1 --port 7421 --spec fleet.json \
+        --kind batch --client alice --priority 2 --output result.json
+    python scripts/submit.py --socket /tmp/repro.sock --stats
+    python scripts/submit.py --socket /tmp/repro.sock --shutdown
+
+``--output`` saves the final merged result (the ``done`` event's payload,
+ExperimentResult-shaped JSON); ``--quiet`` suppresses per-event lines.
+Exits 0 when the job completes, 1 on job failure or protocol errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from _bootstrap import ensure_importable  # noqa: E402
+
+
+def _print_event(event: dict) -> None:
+    kind = event.get("event")
+    if kind == "point":
+        result = event["result"]
+        top = max(result["counts"].items(), key=lambda item: item[1])[0] if result["counts"] else ""
+        print(
+            f"point {event['index']:>3}  params={event['params']}  shots={result['shots']}  "
+            f"source={event['source']}  top={top!r}"
+        )
+    elif kind == "done":
+        result = event["result"]
+        print(
+            f"done: {result['name']} — {len(result['points'])} points, "
+            f"{result['total_shots']} shots in {result['total_time_s']:.3f}s"
+        )
+    elif kind == "error":
+        print(f"error: {event.get('message')}", file=sys.stderr)
+    else:
+        print(json.dumps(event, sort_keys=True))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--socket", help="daemon unix socket path")
+    parser.add_argument("--host", default=None, help="daemon TCP host")
+    parser.add_argument("--port", type=int, default=None, help="daemon TCP port")
+    parser.add_argument("--spec", help="ExperimentSpec/BatchSpec JSON file")
+    parser.add_argument(
+        "--kind", choices=("experiment", "batch"), default="experiment", help="spec type"
+    )
+    parser.add_argument("--client", default=os.environ.get("USER", "anonymous"))
+    parser.add_argument("--priority", type=int, default=1, help="fair-share weight (>= 1)")
+    parser.add_argument("--name", default="", help="override the job display name")
+    parser.add_argument("--output", help="write the final merged result JSON here")
+    parser.add_argument("--quiet", action="store_true", help="suppress per-event lines")
+    parser.add_argument("--stats", action="store_true", help="print daemon stats and exit")
+    parser.add_argument("--status", metavar="JOB_ID", help="print one job's status and exit")
+    parser.add_argument("--shutdown", action="store_true", help="stop the daemon and exit")
+    arguments = parser.parse_args()
+    if arguments.socket is None and (arguments.host is None or arguments.port is None):
+        parser.error("need --socket or --host/--port")
+
+    ensure_importable()
+    from repro.service import ServiceClient
+
+    with ServiceClient(
+        socket_path=arguments.socket, host=arguments.host, port=arguments.port
+    ) as client:
+        if arguments.shutdown:
+            print(json.dumps(client.shutdown(), sort_keys=True))
+            return 0
+        if arguments.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if arguments.status:
+            print(json.dumps(client.status(arguments.status), indent=2, sort_keys=True))
+            return 0
+        if not arguments.spec:
+            parser.error("need --spec (or one of --stats/--status/--shutdown)")
+        with open(arguments.spec, encoding="utf-8") as handle:
+            spec = json.load(handle)
+
+        accepted = client.submit(
+            spec,
+            kind=arguments.kind,
+            client=arguments.client,
+            priority=arguments.priority,
+            name=arguments.name,
+        )
+        if not arguments.quiet:
+            print(f"accepted: {accepted['job_id']} (client {accepted['client']!r})")
+        terminal = None
+        for event in client.events():
+            terminal = event
+            if not arguments.quiet:
+                _print_event(event)
+        if terminal is None or terminal.get("event") != "done":
+            return 1
+        if arguments.output:
+            from repro.runtime import atomic_write_text
+
+            atomic_write_text(
+                arguments.output, json.dumps(terminal["result"], indent=2, sort_keys=True) + "\n"
+            )
+            if not arguments.quiet:
+                print(f"wrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,7 @@ Two independent levels:
 
 * :mod:`repro.analysis.contracts` — an AST-walking lint engine over the
   *source tree* enforcing the project-specific determinism, keying and
-  pickling contracts (rules ``REPRO001``–``REPRO007``), run by
+  pickling contracts (rules ``REPRO001``–``REPRO008``), run by
   ``scripts/lint_contracts.py`` and the CI ``contracts`` job;
 * :mod:`repro.analysis.circuit_check` — a def-use dataflow verifier over
   *circuits and lowered programs* (classical-bit use-before-write, dead

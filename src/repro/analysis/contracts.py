@@ -33,6 +33,10 @@ REPRO006   worker purity: worker-executed modules must not mutate
 REPRO007   rng isolation: engine ``copy()``/``clone()``/``spawn()`` paths
            must not share ``self.rng`` with the clone — spawn a child
            generator instead.
+REPRO008   event-loop purity: service coroutines never call blocking runtime
+           entry points (``run_shard``, ``run_batch``, ``compile_and_map``,
+           runner ``run``/``plan``/``plan_point``) directly — dispatch them
+           through an executor.
 ========== ==================================================================
 
 ``scripts/lint_contracts.py`` is the CLI; the CI ``contracts`` job runs it
@@ -682,6 +686,67 @@ class RngSharingRule(Rule):
         return violations
 
 
+#: Module-level functions that execute shards/batches synchronously.
+_BLOCKING_RUNTIME_FUNCTIONS = frozenset({"run_shard", "run_batch", "compile_and_map"})
+
+#: Blocking methods when called on a runner/planner object.
+_BLOCKING_RUNNER_METHODS = frozenset({"run", "plan", "plan_point"})
+
+#: Receiver-name fragments identifying a runner/planner instance.
+_RUNNER_NAME_HINTS = ("runner", "planner")
+
+
+class EventLoopBlockingRule(Rule):
+    """REPRO008 — service coroutines dispatch runtime work via executors."""
+
+    rule_id = "REPRO008"
+    title = "event-loop purity"
+    rationale = (
+        "The service daemon multiplexes every tenant on one event loop.  A coroutine "
+        "that calls a blocking runtime entry point (shard execution, whole-spec runs, "
+        "compile planning) inline stalls all connected clients for the duration — the "
+        "bug is invisible under light load and catastrophic under real load.  Blocking "
+        "work must go through loop.run_in_executor (the function is passed as a "
+        "reference, never called on the loop)."
+    )
+    scope = "src/repro/service"
+
+    def applies_to(self, path: Path) -> bool:
+        return "service" in _parts(path)
+
+    def check(self, context: ModuleContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(context.function_of(node), ast.AsyncFunctionDef):
+                continue
+            blocked = self._blocking_name(node.func)
+            if blocked is not None:
+                violations.append(
+                    self.violation(
+                        context,
+                        node,
+                        f"coroutine calls blocking runtime entry point {blocked}() on the "
+                        "event loop; dispatch it through loop.run_in_executor instead",
+                    )
+                )
+        return violations
+
+    @staticmethod
+    def _blocking_name(func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name) and func.id in _BLOCKING_RUNTIME_FUNCTIONS:
+            return func.id
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _BLOCKING_RUNNER_METHODS
+            and isinstance(func.value, ast.Name)
+            and any(hint in func.value.id.lower() for hint in _RUNNER_NAME_HINTS)
+        ):
+            return f"{func.value.id}.{func.attr}"
+        return None
+
+
 #: The rule registry, in catalogue order.
 RULES: list[Rule] = [
     RngProvenanceRule(),
@@ -691,6 +756,7 @@ RULES: list[Rule] = [
     TaskPickleRule(),
     WorkerStateRule(),
     RngSharingRule(),
+    EventLoopBlockingRule(),
 ]
 
 

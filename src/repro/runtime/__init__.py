@@ -17,7 +17,7 @@ sharding/seeding model and cache invalidation rules.
 
 from repro.runtime.aggregate import ExperimentResult, PointResult, merge_counts, merge_metrics
 from repro.runtime.batch import BatchCircuit, BatchResult, BatchRunner, BatchSpec, run_batch
-from repro.runtime.cache import ArtifactCache, default_cache_dir
+from repro.runtime.cache import ArtifactCache, atomic_write_text, default_cache_dir
 from repro.runtime.runner import ExperimentRunner
 from repro.runtime.seeding import shard_seed, shard_sizes
 from repro.runtime.spec import (
@@ -48,6 +48,7 @@ __all__ = [
     "QecSpec",
     "SimulationSpec",
     "SweepPoint",
+    "atomic_write_text",
     "default_cache_dir",
     "merge_counts",
     "merge_metrics",

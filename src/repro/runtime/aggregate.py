@@ -117,4 +117,7 @@ class ExperimentResult:
         return json.dumps(self.to_dict(), indent=indent)
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_json() + "\n")
+        """Write the result JSON atomically (tmp + rename, never torn)."""
+        from repro.runtime.cache import atomic_write_text
+
+        atomic_write_text(path, self.to_json() + "\n")

@@ -154,6 +154,31 @@ class BatchSpec:
         return cls(name=name, circuits=circuits, **defaults)
 
     # ------------------------------------------------------------------ #
+    def resolved_circuit(self, index: int) -> tuple[int, int, SimulationSpec, str]:
+        """Circuit ``index``'s ``(shots, seed, simulation, label)`` after overrides.
+
+        The single resolution rule shared by :class:`BatchRunner` and the
+        experiment service (which schedules batch circuits as individual
+        points): ``None`` fields inherit the batch-level default, and the
+        returned :class:`~repro.runtime.spec.SimulationSpec` is an
+        independent copy.
+        """
+        batch_circuit = self.circuits[index]
+        shots = batch_circuit.shots if batch_circuit.shots is not None else self.shots
+        seed = batch_circuit.seed if batch_circuit.seed is not None else self.seed
+        simulation = copy.deepcopy(self.simulation)
+        if batch_circuit.backend is not None:
+            simulation.backend = batch_circuit.backend
+        if batch_circuit.max_bond is not None:
+            simulation.max_bond = batch_circuit.max_bond
+        if batch_circuit.truncation_threshold is not None:
+            simulation.truncation_threshold = batch_circuit.truncation_threshold
+        if batch_circuit.channel_fusion is not None:
+            simulation.channel_fusion = batch_circuit.channel_fusion
+        label = batch_circuit.label or f"circuit[{index}]"
+        return shots, seed, simulation, label
+
+    # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
         return asdict(self)
 
@@ -474,9 +499,10 @@ class BatchResult:
         }
 
     def save(self, path: str | os.PathLike) -> Path:
-        path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
-        return path
+        """Write the result JSON atomically (tmp + rename, never torn)."""
+        from repro.runtime.cache import atomic_write_text
+
+        return atomic_write_text(path, json.dumps(self.to_dict(), indent=2) + "\n")
 
 
 def _plan_profile(plan: LoweringPlan, circuit: Circuit, shots: int, noise: str) -> CircuitProfile:
@@ -595,28 +621,11 @@ class BatchRunner:
         return chosen
 
     # ------------------------------------------------------------------ #
-    def _resolved(self, batch_circuit: BatchCircuit) -> tuple[int, int, SimulationSpec]:
-        """Per-circuit (shots, seed, simulation) after override resolution."""
-        spec = self.spec
-        shots = batch_circuit.shots if batch_circuit.shots is not None else spec.shots
-        seed = batch_circuit.seed if batch_circuit.seed is not None else spec.seed
-        simulation = copy.deepcopy(spec.simulation)
-        if batch_circuit.backend is not None:
-            simulation.backend = batch_circuit.backend
-        if batch_circuit.max_bond is not None:
-            simulation.max_bond = batch_circuit.max_bond
-        if batch_circuit.truncation_threshold is not None:
-            simulation.truncation_threshold = batch_circuit.truncation_threshold
-        if batch_circuit.channel_fusion is not None:
-            simulation.channel_fusion = batch_circuit.channel_fusion
-        return shots, seed, simulation
-
     def _plan_circuit(
         self, index: int, batch_circuit: BatchCircuit, platforms: dict
     ) -> PlannedBatchCircuit:
         spec = self.spec
-        shots, seed, simulation = self._resolved(batch_circuit)
-        label = batch_circuit.label or f"circuit[{index}]"
+        shots, seed, simulation, label = spec.resolved_circuit(index)
         circuit = batch_circuit.circuit.build()
         platform = platforms.get(circuit.num_qubits)
         if platform is None:

@@ -40,8 +40,41 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-runtime"
 
 
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Publish ``text`` at ``path`` via the cache's tmp + ``os.replace`` pattern.
+
+    Readers (and a process killed mid-write) only ever observe the old
+    content or the complete new content, never a torn file.  Used for
+    result files and journal snapshots, so a SIGKILLed daemon cannot leave
+    a partially written artifact behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 class ArtifactCache:
-    """Content-addressed pickle store with hit/miss accounting."""
+    """Content-addressed pickle store with hit/miss accounting.
+
+    Long-lived owners (the experiment service daemon) bound the store with
+    :meth:`prune`: least-recently-*written* entries (mtime order — ``get``
+    does not touch files, so mtime is publication time) are evicted until
+    the directory fits ``max_bytes``.  Eviction is safe against concurrent
+    readers: a pruned entry simply becomes a miss and is recomputed.
+    """
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
@@ -49,6 +82,7 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -103,6 +137,46 @@ class ArtifactCache:
         self.writes += 1
 
     # ------------------------------------------------------------------ #
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """``(mtime, size, path)`` per entry; vanished files are skipped."""
+        entries: list[tuple[float, int, Path]] = []
+        for path in sorted(self.directory.glob("*/*.pkl")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all cached entries (scans the directory)."""
+        return sum(size for _, size, _ in self._entries())
+
+    def prune(self, max_bytes: int) -> dict:
+        """Evict least-recently-written entries until the store fits ``max_bytes``.
+
+        Returns ``{"evicted": n, "size_bytes": remaining}``.  Concurrent
+        writers are fine: eviction only turns future ``get`` calls into
+        misses, never corrupts an entry (writes are atomic renames).
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        # Oldest mtime first; path as a deterministic tie-break.
+        for _, size, path in sorted(entries, key=lambda entry: (entry[0], str(entry[2]))):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        self.evictions += evicted
+        return {"evicted": evicted, "size_bytes": total}
+
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""
         removed = 0
@@ -115,4 +189,9 @@ class ArtifactCache:
         return removed
 
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+        }

@@ -264,12 +264,22 @@ class ExperimentRunner:
             tasks=[task],
         )
 
+    def plan_point(self, point: SweepPoint) -> PlannedPoint:
+        """Plan one (possibly externally fabricated) sweep point.
+
+        Dispatches on the *point's* kind, not the runner's spec, so callers
+        such as the experiment service can plan heterogeneous point lists —
+        e.g. batch circuits rewritten as single-circuit points — through
+        one runner sharing one cache.
+        """
+        if point.spec.kind == "qec":
+            return self._plan_qec_point(point)
+        if point.spec.kind == "compile":
+            return self._plan_compile_point(point)
+        return self._compile_point(point)
+
     def plan(self) -> list[PlannedPoint]:
-        if self.spec.kind == "qec":
-            return [self._plan_qec_point(point) for point in self.spec.points()]
-        if self.spec.kind == "compile":
-            return [self._plan_compile_point(point) for point in self.spec.points()]
-        return [self._compile_point(point) for point in self.spec.points()]
+        return [self.plan_point(point) for point in self.spec.points()]
 
     # ------------------------------------------------------------------ #
     # Execution.

@@ -1,0 +1,128 @@
+"""Synchronous NDJSON client for the experiment service.
+
+A plain-``socket`` client (no asyncio) usable from scripts, tests, and
+notebooks: connect over a unix socket or TCP, send one JSON request per
+line, and iterate response lines.  Streaming requests yield events until
+the job's terminal ``done``/``error`` event, after which the same
+connection can issue further requests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from collections.abc import Iterator
+
+from repro.service.jobs import TERMINAL_EVENTS
+
+
+class ServiceClient:
+    """One connection to a running service daemon."""
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float = 300.0,
+    ) -> None:
+        if socket_path is None and (host is None or port is None):
+            raise ValueError("need socket_path or host+port")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    # ------------------------------------------------------------------ #
+    def send(self, request: dict) -> None:
+        self._file.write(json.dumps(request).encode("utf-8") + b"\n")
+        self._file.flush()
+
+    def recv(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def request(self, payload: dict) -> dict:
+        """One non-streaming round trip."""
+        self.send(payload)
+        return self.recv()
+
+    def events(self) -> Iterator[dict]:
+        """Yield response lines until a terminal job event."""
+        while True:
+            event = self.recv()
+            yield event
+            if event.get("event") in TERMINAL_EVENTS or event.get("event") == "protocol_error":
+                return
+
+    # ------------------------------------------------------------------ #
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def status(self, job_id: str) -> dict:
+        return self.request({"op": "status", "job_id": job_id})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def submit(
+        self,
+        spec: dict,
+        kind: str = "experiment",
+        client: str = "anonymous",
+        priority: int = 1,
+        name: str = "",
+        stream: bool = True,
+    ) -> dict:
+        """Submit a job; returns the ``accepted`` event.
+
+        With ``stream=True`` the daemon follows the acceptance with the
+        job's event stream on this connection — consume it with
+        :meth:`events` (or :meth:`wait`).
+        """
+        self.send(
+            {
+                "op": "submit",
+                "client": client,
+                "kind": kind,
+                "spec": spec,
+                "priority": priority,
+                "name": name,
+                "stream": stream,
+            }
+        )
+        accepted = self.recv()
+        if accepted.get("event") == "protocol_error":
+            raise RuntimeError(f"submit rejected: {accepted.get('message')}")
+        return accepted
+
+    def stream(self, job_id: str) -> Iterator[dict]:
+        """Replay-then-follow an existing job's event stream."""
+        self.send({"op": "stream", "job_id": job_id})
+        return self.events()
+
+    def wait(self) -> tuple[dict, list[dict]]:
+        """Drain the current stream; returns ``(terminal_event, all_events)``."""
+        events = list(self.events())
+        return events[-1], events

@@ -1,0 +1,102 @@
+"""Daemon wiring: sockets, signals, and the readiness handshake.
+
+:func:`serve` binds the requested listeners (unix socket and/or TCP for
+the NDJSON protocol, plus an optional HTTP façade port), starts the
+:class:`~repro.service.engine.JobService` (which resumes journalled jobs),
+and prints exactly one JSON *ready line* to ``ready_stream`` — carrying
+the actually-bound addresses, so callers passing port 0 learn the kernel's
+choice.  Supervisors (tests, CI, ``scripts/serve.py``) wait for that line
+before submitting.
+
+Shutdown is cooperative: SIGTERM/SIGINT or a protocol ``shutdown`` op sets
+one event; listeners close, in-flight shard units are cancelled, and the
+journal keeps everything needed for the next start to resume.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+
+from repro.service.engine import JobService
+from repro.service.http import handle_http
+from repro.service.protocol import MAX_LINE_BYTES, handle_connection
+
+
+async def serve(
+    service: JobService,
+    socket_path: str | os.PathLike | None = None,
+    tcp_host: str = "127.0.0.1",
+    tcp_port: int | None = None,
+    http_port: int | None = None,
+    ready_stream=None,
+) -> None:
+    """Run the daemon until a shutdown signal or protocol shutdown op."""
+    if socket_path is None and tcp_port is None:
+        raise ValueError("need at least one of socket_path / tcp_port")
+    shutdown = asyncio.Event()
+    connections: set[asyncio.Task] = set()
+    await service.start()
+
+    def on_connection(reader, writer):
+        return handle_connection(service, reader, writer, shutdown, connections)
+
+    def on_http(reader, writer):
+        return handle_http(service, reader, writer)
+
+    servers = []
+    ready = {"ready": True, "pid": os.getpid()}
+    if socket_path is not None:
+        socket_path = os.fspath(socket_path)
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)  # stale socket from a killed daemon
+        servers.append(
+            await asyncio.start_unix_server(on_connection, path=socket_path, limit=MAX_LINE_BYTES)
+        )
+        ready["socket"] = socket_path
+    if tcp_port is not None:
+        server = await asyncio.start_server(
+            on_connection, host=tcp_host, port=tcp_port, limit=MAX_LINE_BYTES
+        )
+        servers.append(server)
+        ready["tcp_host"] = tcp_host
+        ready["tcp_port"] = server.sockets[0].getsockname()[1]
+    if http_port is not None:
+        server = await asyncio.start_server(
+            on_http, host=tcp_host, port=http_port, limit=MAX_LINE_BYTES
+        )
+        servers.append(server)
+        ready["http_port"] = server.sockets[0].getsockname()[1]
+
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, shutdown.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-unix
+            pass
+
+    stream = ready_stream if ready_stream is not None else sys.stdout
+    print(json.dumps(ready, sort_keys=True), file=stream, flush=True)
+
+    try:
+        await shutdown.wait()
+    finally:
+        for server in servers:
+            server.close()
+        for server in servers:
+            await server.wait_closed()
+        await service.close()
+        if connections:
+            # Handlers see the shutdown event (and the terminal events
+            # service.close() emitted) and return on their own; give them a
+            # moment rather than tearing them down mid-write.
+            _, pending = await asyncio.wait(connections, timeout=5)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if socket_path is not None and os.path.exists(socket_path):
+            os.unlink(socket_path)

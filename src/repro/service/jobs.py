@@ -1,0 +1,166 @@
+"""Job model and point-level planning for the experiment service.
+
+A *job* is one client submission: an :class:`~repro.runtime.spec.ExperimentSpec`
+(``kind="experiment"``) or a :class:`~repro.runtime.batch.BatchSpec`
+(``kind="batch"``), plus the client identity and priority the scheduler
+uses for weighted-fair sharing.  Jobs are decomposed into *sweep points* —
+the service's unit of dedup and streaming — and points into *shard tasks*,
+the unit of fair scheduling and pool dispatch.
+
+Batch specs are rewritten into one single-circuit point per fleet entry
+with ``point_index = circuit index`` and ``root seed = resolved per-circuit
+seed``, which is exactly the ``SeedSequence(entropy=seed_i, spawn_key=(i,
+shard))`` stream contract of :class:`~repro.runtime.batch.BatchRunner` —
+so service results for batch jobs are bit-identical to both the batch
+runner and the equivalent serial sweep.
+
+The **point key** is the service's content-addressed dedup identity: a
+:meth:`~repro.runtime.cache.ArtifactCache.key_for` hash over the bound
+point spec (minus the display name) plus the point index.  Everything that
+can change the merged histogram — circuit, platform, compiler, simulation
+config, shots, root seed, shard-layout knobs, and the ``(point, shard)``
+seed coordinates via the index — is inside the hash; the job name and the
+submitting client are not.  Identical work therefore collides across
+tenants by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.runtime.batch import BatchSpec
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.runner import ExperimentRunner
+from repro.runtime.spec import ExperimentSpec, SweepPoint
+
+#: Job lifecycle states, in order.
+JOB_STATES = ("pending", "planning", "running", "done", "failed")
+
+#: Events with these names terminate a subscription stream.
+TERMINAL_EVENTS = frozenset({"done", "error"})
+
+
+def point_key(point: SweepPoint) -> str:
+    """Content-addressed identity of one sweep point's merged result."""
+    payload = point.spec.to_dict()
+    # The display name never affects results; the bound spec of a point has
+    # an empty sweep by construction, so drop both from the hash.
+    payload.pop("name", None)
+    payload.pop("sweep", None)
+    return ArtifactCache.key_for("point", spec=payload, index=point.index)
+
+
+def parse_job_spec(payload: dict, kind: str) -> ExperimentSpec | BatchSpec:
+    """Validate and materialise a submitted spec dict."""
+    if kind == "experiment":
+        return ExperimentSpec.from_dict(payload)
+    if kind == "batch":
+        return BatchSpec.from_dict(payload)
+    raise ValueError(f"unknown job kind {kind!r}: expected 'experiment' or 'batch'")
+
+
+def job_points(spec: ExperimentSpec | BatchSpec) -> list[SweepPoint]:
+    """Decompose a job spec into schedulable sweep points.
+
+    Experiment specs expand their sweep; batch specs yield one
+    single-circuit point per fleet entry under the batch seeding contract
+    (see module docstring).
+    """
+    if isinstance(spec, ExperimentSpec):
+        return spec.points()
+    points = []
+    for index, batch_circuit in enumerate(spec.circuits):
+        shots, seed, simulation, label = spec.resolved_circuit(index)
+        bound = ExperimentSpec(
+            name=spec.name,
+            circuit=batch_circuit.circuit,
+            platform=spec.platform,
+            compiler=spec.compiler,
+            simulation=simulation,
+            shots=shots,
+            seed=seed,
+            max_shard_shots=spec.max_shard_shots,
+            min_shards=spec.min_shards,
+        )
+        points.append(SweepPoint(index=index, params={"label": label}, spec=bound))
+    return points
+
+
+def job_planner(
+    spec: ExperimentSpec | BatchSpec,
+    cache: ArtifactCache,
+    strict_verify: bool = False,
+) -> ExperimentRunner:
+    """Build the runner the service uses to plan this job's points.
+
+    The service plans point-by-point (``runner.plan_point`` in its planning
+    executor, never on the event loop) so points served from cache or
+    joined in flight skip compilation entirely.  The daemon's own
+    :class:`~repro.runtime.cache.ArtifactCache` instance is injected so
+    compile/program artifacts and their hit/miss counters are shared
+    across all tenants.
+    """
+    anchor = job_points(spec)[0].spec
+    runner = ExperimentRunner(
+        anchor,
+        workers=1,
+        cache_dir=cache.directory,
+        strict_verify=strict_verify,
+    )
+    runner.cache = cache  # one shared store + one set of counters
+    return runner
+
+
+@dataclass
+class Job:
+    """One client submission and its streamed lifecycle.
+
+    ``events`` buffers every emitted event in order, so late subscribers
+    (including clients reconnecting after a daemon restart) replay the full
+    point stream; live subscribers additionally receive events through
+    their per-subscription :class:`asyncio.Queue`.
+    """
+
+    job_id: str
+    client: str
+    priority: int
+    kind: str
+    payload: dict
+    name: str = ""
+    state: str = "pending"
+    points_total: int = 0
+    points_done: int = 0
+    submitted_s: float = field(default_factory=time.monotonic)
+    events: list[dict] = field(default_factory=list)
+    point_results: list = field(default_factory=list)
+    queues: list[asyncio.Queue] = field(default_factory=list)
+
+    def deliver(self, event: dict) -> None:
+        """Record an event and fan it out to live subscribers."""
+        self.events.append(event)
+        for queue in self.queues:
+            queue.put_nowait(event)
+
+    def fail(self, message: str) -> None:
+        if self.state in ("done", "failed"):
+            return
+        self.state = "failed"
+        self.deliver({"event": "error", "job_id": self.job_id, "message": message})
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def status(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "client": self.client,
+            "priority": self.priority,
+            "kind": self.kind,
+            "name": self.name,
+            "state": self.state,
+            "points_total": self.points_total,
+            "points_done": self.points_done,
+        }

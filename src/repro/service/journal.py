@@ -1,0 +1,67 @@
+"""Crash-safe NDJSON journal behind the service's checkpoint/resume.
+
+The journal is an append-only file of one JSON record per line; every
+append is flushed and fsynced before the daemon acts on it, so the journal
+never lags observable state.  A record is one of:
+
+- ``{"type": "job", ...}`` — a submission was accepted (replayed on
+  restart so incomplete jobs resume without the client resubmitting);
+- ``{"type": "point", "key": ...}`` — a point's merged result was
+  committed to the artifact cache under ``key``;
+- ``{"type": "job_done", "job_id": ...}`` / ``{"type": "job_failed", ...}``
+  — terminal job states (done jobs are not replayed).
+
+Replay tolerates a torn trailing line — the one partial record a SIGKILL
+mid-append can leave — by ignoring any suffix that fails to parse.  A torn
+*point* record just means that point re-executes from cache-or-scratch on
+resume, which is correct either way because point results are
+content-addressed and deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+class JobJournal:
+    """Append-only journal of accepted jobs and committed points."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (flush + fsync before returning)."""
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def replay(self) -> list[dict]:
+        """Parse every intact record, ignoring a torn trailing line."""
+        if not self.path.exists():
+            return []
+        records = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Only a crash mid-append can produce this, and only on
+                    # the final line; everything before it is intact.
+                    break
+                if isinstance(record, dict):
+                    records.append(record)
+        return records
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -1,0 +1,171 @@
+"""Newline-delimited JSON protocol spoken over TCP and unix sockets.
+
+One request per line, one JSON object per response line.  Streaming
+operations (``submit`` with ``"stream": true``, and ``stream``) keep the
+connection open and emit each job event as its own line; the stream ends
+with the job's terminal ``done``/``error`` event, after which the
+connection is ready for the next request.  Protocol-level failures (bad
+JSON, unknown op, unknown job) are reported as
+``{"event": "protocol_error", "message": ...}`` without closing the
+connection.
+
+Everything here is stdlib asyncio; handlers never touch blocking runtime
+entry points directly (REPRO008) — they only await :class:`JobService`
+coroutines, which do their work in executors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.engine import JobService
+
+#: Cap on one request line; a spec JSON larger than this is rejected
+#: rather than buffered without bound.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+def protocol_error(message: str) -> dict:
+    return {"event": "protocol_error", "message": message}
+
+
+async def read_message(reader: asyncio.StreamReader) -> dict | None:
+    """Read one NDJSON message; ``None`` on EOF, ``{}``-error dict on junk."""
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        return protocol_error("request line too long")
+    if not line:
+        return None
+    text = line.decode("utf-8", errors="replace").strip()
+    if not text:
+        return protocol_error("empty request line")
+    try:
+        message = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return protocol_error(f"bad JSON: {exc}")
+    if not isinstance(message, dict):
+        return protocol_error("request must be a JSON object")
+    return message
+
+
+async def write_message(writer: asyncio.StreamWriter, payload: dict) -> None:
+    writer.write(json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n")
+    await writer.drain()
+
+
+async def _read_or_shutdown(
+    reader: asyncio.StreamReader, shutdown: asyncio.Event
+) -> dict | None:
+    """Await the next request, but give up cleanly once shutdown is set.
+
+    Keep-alive connections would otherwise sit in ``readline()`` past the
+    daemon's shutdown and get torn down by loop cancellation (noisily, via
+    the stream protocol's task callback); racing the read against the
+    shutdown event lets every handler return on its own.
+    """
+    read_task = asyncio.ensure_future(read_message(reader))
+    waiter = asyncio.ensure_future(shutdown.wait())
+    try:
+        done, _ = await asyncio.wait({read_task, waiter}, return_when=asyncio.FIRST_COMPLETED)
+        if read_task in done:
+            return read_task.result()
+        return None
+    finally:
+        for task in (read_task, waiter):
+            task.cancel()
+        await asyncio.gather(read_task, waiter, return_exceptions=True)
+
+
+async def handle_connection(
+    service: JobService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    shutdown: asyncio.Event,
+    connections: set | None = None,
+) -> None:
+    """Serve one client connection until EOF or daemon shutdown."""
+    if connections is not None:
+        task = asyncio.current_task()
+        connections.add(task)
+        task.add_done_callback(connections.discard)
+    try:
+        while not shutdown.is_set():
+            request = await _read_or_shutdown(reader, shutdown)
+            if request is None:
+                return
+            if request.get("event") == "protocol_error":
+                await write_message(writer, request)
+                continue
+            try:
+                await dispatch(service, request, writer, shutdown)
+            except ConnectionError:
+                return
+            except Exception as exc:  # noqa: BLE001 - report, keep serving
+                await write_message(
+                    writer, protocol_error(f"{type(exc).__name__}: {exc}")
+                )
+    except ConnectionError:
+        return
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+
+async def dispatch(
+    service: JobService,
+    request: dict,
+    writer: asyncio.StreamWriter,
+    shutdown: asyncio.Event,
+) -> None:
+    """Execute one request; streaming ops write many lines."""
+    op = request.get("op")
+    if op == "ping":
+        await write_message(writer, {"event": "pong"})
+    elif op == "submit":
+        accepted = await service.submit(
+            client=str(request.get("client", "anonymous")),
+            kind=str(request.get("kind", "experiment")),
+            payload=request.get("spec") or {},
+            priority=request.get("priority", 1),
+            name=str(request.get("name", "")),
+        )
+        await write_message(writer, accepted)
+        if request.get("stream", True):
+            await stream_job(service, accepted["job_id"], writer, skip_accepted=True)
+    elif op == "stream":
+        job_id = str(request.get("job_id", ""))
+        if job_id not in service.jobs:
+            await write_message(writer, protocol_error(f"unknown job {job_id!r}"))
+        else:
+            await stream_job(service, job_id, writer)
+    elif op == "status":
+        job_id = str(request.get("job_id", ""))
+        if job_id not in service.jobs:
+            await write_message(writer, protocol_error(f"unknown job {job_id!r}"))
+        else:
+            await write_message(writer, {"event": "status", **service.status(job_id)})
+    elif op == "stats":
+        await write_message(writer, {"event": "stats", **service.stats()})
+    elif op == "shutdown":
+        await write_message(writer, {"event": "bye"})
+        shutdown.set()
+    else:
+        await write_message(writer, protocol_error(f"unknown op {op!r}"))
+
+
+async def stream_job(
+    service: JobService,
+    job_id: str,
+    writer: asyncio.StreamWriter,
+    skip_accepted: bool = False,
+) -> None:
+    """Replay-then-follow one job's events onto the wire."""
+    async for event in service.stream(job_id):
+        if skip_accepted and event.get("event") == "accepted":
+            continue
+        await write_message(writer, event)

@@ -326,6 +326,59 @@ class TestRngSharing:
 
 
 # ---------------------------------------------------------------------- #
+# REPRO008 — event-loop purity in the service layer
+# ---------------------------------------------------------------------- #
+class TestEventLoopBlocking:
+    def test_blocking_worker_call_in_coroutine_flagged(self):
+        source = (
+            "from repro.runtime.worker import run_shard\n"
+            "async def handle(task):\n"
+            "    return run_shard(task)\n"
+        )
+        assert codes(lint_source(source, "src/repro/service/engine.py")) == ["REPRO008"]
+
+    def test_runner_method_call_in_coroutine_flagged(self):
+        source = (
+            "async def admit(runner, point):\n"
+            "    return runner.plan_point(point)\n"
+        )
+        assert codes(lint_source(source, "src/repro/service/engine.py")) == ["REPRO008"]
+
+    def test_run_batch_in_coroutine_flagged(self):
+        source = (
+            "from repro.runtime import run_batch\n"
+            "async def handle(spec):\n"
+            "    return run_batch(spec)\n"
+        )
+        assert codes(lint_source(source, "src/repro/service/http.py")) == ["REPRO008"]
+
+    def test_executor_dispatch_allowed(self):
+        source = (
+            "from repro.runtime.worker import run_shard\n"
+            "async def handle(loop, pool, runner, task, point):\n"
+            "    await loop.run_in_executor(pool, run_shard, task)\n"
+            "    await loop.run_in_executor(pool, runner.plan_point, point)\n"
+        )
+        assert lint_source(source, "src/repro/service/engine.py") == []
+
+    def test_sync_helper_in_service_module_allowed(self):
+        source = (
+            "from repro.runtime.worker import run_shard\n"
+            "def inline(task):\n"
+            "    return run_shard(task)\n"
+        )
+        assert lint_source(source, "src/repro/service/jobs.py") == []
+
+    def test_rule_scoped_to_service_package(self):
+        source = (
+            "from repro.runtime.worker import run_shard\n"
+            "async def handle(task):\n"
+            "    return run_shard(task)\n"
+        )
+        assert lint_source(source, "src/repro/runtime/runner.py") == []
+
+
+# ---------------------------------------------------------------------- #
 # Ignore comments
 # ---------------------------------------------------------------------- #
 class TestIgnoreComments:
@@ -372,7 +425,7 @@ class TestRepoAndCli:
     def test_rule_catalogue_is_documented(self):
         catalogue = rule_catalogue()
         assert [entry["id"] for entry in catalogue] == [
-            f"REPRO00{i}" for i in range(1, 8)
+            f"REPRO00{i}" for i in range(1, 9)
         ]
         for entry in catalogue:
             assert entry["title"]

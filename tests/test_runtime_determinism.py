@@ -218,6 +218,91 @@ def test_artifact_cache_roundtrips_kernel_programs(tmp_path):
 
 
 # ---------------------------------------------------------------------- #
+# Cache eviction, atomic writes, concurrent writers (service satellites)
+# ---------------------------------------------------------------------- #
+def test_cache_prune_evicts_oldest_entries_first(tmp_path):
+    import os
+    import time as time_module
+
+    cache = ArtifactCache(tmp_path / "cache")
+    keys = [cache.key_for("blob", index=i) for i in range(4)]
+    for index, key in enumerate(keys):
+        cache.put(key, "x" * 1024)
+        # Pin distinct mtimes so LRU order is unambiguous on coarse clocks.
+        stamp = time_module.time() - (100 - index)
+        os.utime(cache.path_for(key), (stamp, stamp))
+    entry_size = cache.path_for(keys[0]).stat().st_size
+    report = cache.prune(max_bytes=2 * entry_size)
+    assert report["evicted"] == 2
+    assert report["size_bytes"] <= 2 * entry_size
+    assert cache.evictions == 2
+    # Oldest mtimes (lowest index) went first; newest survive.
+    assert cache.get(keys[0]) is None
+    assert cache.get(keys[1]) is None
+    assert cache.get(keys[2]) == "x" * 1024
+    assert cache.get(keys[3]) == "x" * 1024
+    assert "evictions" in cache.stats()
+
+
+def test_cache_prune_rejects_negative_budget(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    with pytest.raises(ValueError):
+        cache.prune(max_bytes=-1)
+
+
+def test_experiment_result_save_is_atomic(tmp_path):
+    spec = _noisy_spec()
+    result = ExperimentRunner(spec, workers=1, use_cache=False).run()
+    target = tmp_path / "nested" / "result.json"
+    target.parent.mkdir()
+    result.save(target)
+    import json
+
+    loaded = json.loads(target.read_text())
+    assert loaded["name"] == spec.name
+    # The tmp+rename pattern leaves no temporary siblings behind.
+    assert [entry.name for entry in target.parent.iterdir()] == ["result.json"]
+
+
+def test_concurrent_cache_writers_race_safely(tmp_path):
+    """Satellite: two processes hammering the same cache key never produce
+    a torn read or leave temp files behind (the atomic tmp+rename, plus
+    get()'s corrupt-entry purge, make last-writer-wins safe)."""
+    import subprocess
+    import sys
+
+    cache_dir = tmp_path / "cache"
+    writer = (
+        "import sys\n"
+        "from repro.runtime import ArtifactCache\n"
+        "cache = ArtifactCache(sys.argv[1])\n"
+        "key = cache.key_for('contended', name='shared')\n"
+        "payload = sys.argv[2] * 20000\n"
+        "for _ in range(200):\n"
+        "    cache.put(key, payload)\n"
+        "    value = cache.get(key)\n"
+        "    assert value is None or (len(value) == 20000 and set(value) in ({'a'}, {'b'}))\n"
+    )
+    processes = [
+        subprocess.Popen(
+            [sys.executable, "-c", writer, str(cache_dir), tag],
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for tag in ("a", "b")
+    ]
+    for process in processes:
+        process.wait(timeout=120)
+    for process in processes:
+        assert process.returncode == 0, process.stderr.read()
+    cache = ArtifactCache(cache_dir)
+    value = cache.get(cache.key_for("contended", name="shared"))
+    assert value is not None and len(value) == 20000 and set(value) in ({"a"}, {"b"})
+    leftovers = [path for path in cache_dir.rglob("*") if path.is_file() and path.suffix != ".pkl"]
+    assert leftovers == []
+
+
+# ---------------------------------------------------------------------- #
 # QEC experiment kind: surface-code sweeps on the same contract
 # ---------------------------------------------------------------------- #
 def _qec_spec(**overrides) -> ExperimentSpec:
